@@ -1,0 +1,268 @@
+package dve
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+// Each benchmark runs the corresponding experiment at Quick scale and
+// reports the headline metric(s) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's result shapes. cmd/dvebench produces the full
+// formatted tables at larger scales.
+
+import (
+	"testing"
+
+	idve "dve/internal/dve"
+	"dve/internal/experiments"
+	"dve/internal/mcheck"
+	"dve/internal/reliability"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+func quickRunner() experiments.Runner {
+	return experiments.Runner{Scale: experiments.Quick, Parallelism: 8}
+}
+
+// BenchmarkTable1Reliability evaluates the Section IV analytical model (all
+// Table I rows) per iteration and reports the headline improvements.
+func BenchmarkTable1Reliability(b *testing.B) {
+	m := reliability.Default()
+	var dueImpr, raimImpr float64
+	for i := 0; i < b.N; i++ {
+		ck := m.Chipkill()
+		dve := m.DveDSD()
+		raim := m.RAIM(5, 8)
+		dck := m.DveChipkill()
+		_ = m.DveTSD()
+		fits := reliability.ThermalFITs(66.1, 8.2, 9)
+		_ = m.ChipkillThermal(fits)
+		_ = m.MirrorThermal(fits, true)
+		dueImpr = ck.DUE / dve.DUE
+		raimImpr = raim.DUE / dck.DUE
+	}
+	b.ReportMetric(dueImpr, "DUE-improvement-vs-chipkill")
+	b.ReportMetric(raimImpr, "DUE-improvement-vs-RAIM")
+}
+
+// BenchmarkFig1DesignPoints evaluates the design-point comparison.
+func BenchmarkFig1DesignPoints(b *testing.B) {
+	var cap float64
+	for i := 0; i < b.N; i++ {
+		pts := reliability.DesignPoints(reliability.Default())
+		cap = pts[2].EffectiveCapacity
+	}
+	b.ReportMetric(cap*100, "dve-effective-capacity-%")
+}
+
+// benchWorkload simulates one benchmark under one protocol per iteration.
+func benchWorkload(b *testing.B, name string, p topology.Protocol) *idve.Result {
+	b.Helper()
+	spec, ok := workload.ByName(name, 16)
+	if !ok {
+		b.Fatalf("unknown workload %s", name)
+	}
+	var res *idve.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = idve.Run(spec, idve.RunConfig{
+			Cfg:        topology.Default(p),
+			WarmupOps:  30_000,
+			MeasureOps: 80_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFig6Speedup reproduces the Fig 6 headline: geomean speedups of
+// allow/deny/dynamic over baseline NUMA across the suite (a 3-benchmark
+// subsample at bench scale; cmd/dvebench runs all 20).
+func BenchmarkFig6Speedup(b *testing.B) {
+	names := []string{"xsbench", "lbm", "fft"}
+	for i := 0; i < b.N; i++ {
+		r := quickRunner()
+		r.Workloads = names
+		perf, err := r.Perf()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(perf.Geomean("deny", len(names)), "deny-speedup")
+		b.ReportMetric(perf.Geomean("allow", len(names)), "allow-speedup")
+		b.ReportMetric(perf.Geomean("dynamic", len(names)), "dynamic-speedup")
+		b.ReportMetric(perf.Geomean("intel-mirror++", len(names)), "intel-speedup")
+	}
+}
+
+// BenchmarkFig7Classification measures the sharing-class distribution on the
+// baseline (the Fig 7 data).
+func BenchmarkFig7Classification(b *testing.B) {
+	spec, _ := workload.ByName("canneal", 16)
+	var mix [4]float64
+	for i := 0; i < b.N; i++ {
+		res, err := idve.Run(spec, idve.RunConfig{
+			Cfg:        topology.Default(topology.ProtoBaseline),
+			WarmupOps:  30_000,
+			MeasureOps: 80_000,
+			Classify:   true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mix = res.Counters.SharingMix()
+	}
+	b.ReportMetric(mix[3], "private-RW-fraction")
+}
+
+// BenchmarkFig8Traffic measures inter-socket traffic reduction (Fig 8).
+func BenchmarkFig8Traffic(b *testing.B) {
+	spec, _ := workload.ByName("graph500", 16)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		base, err := idve.Run(spec, idve.RunConfig{
+			Cfg: topology.Default(topology.ProtoBaseline), WarmupOps: 30_000, MeasureOps: 80_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		deny, err := idve.Run(spec, idve.RunConfig{
+			Cfg: topology.Default(topology.ProtoDeny), WarmupOps: 30_000, MeasureOps: 80_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(deny.Counters.LinkBytes) / float64(base.Counters.LinkBytes)
+	}
+	b.ReportMetric(ratio, "traffic-vs-baseline")
+}
+
+// BenchmarkFig9Optimizations compares the allow variants (2K/4K/coarse/
+// oracle) on a stride-heavy benchmark.
+func BenchmarkFig9Optimizations(b *testing.B) {
+	spec, _ := workload.ByName("fft", 16)
+	run := func(mod func(*topology.Config)) uint64 {
+		cfg := topology.Default(topology.ProtoAllow)
+		mod(&cfg)
+		res, err := idve.Run(spec, idve.RunConfig{Cfg: cfg, WarmupOps: 30_000, MeasureOps: 80_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		base := run(func(c *topology.Config) { c.Protocol = topology.ProtoBaseline; c.ChannelsPerSkt = 1 })
+		d2k := run(func(c *topology.Config) {})
+		d4k := run(func(c *topology.Config) { c.ReplicaDirEntries = 4096 })
+		oracle := run(func(c *topology.Config) { c.Oracular = true })
+		b.ReportMetric(float64(base)/float64(d2k), "allow-2k-speedup")
+		b.ReportMetric(float64(base)/float64(d4k), "allow-4k-speedup")
+		b.ReportMetric(float64(base)/float64(oracle), "oracle-speedup")
+	}
+}
+
+// BenchmarkFig10LinkLatency sweeps the inter-socket latency (Fig 10).
+func BenchmarkFig10LinkLatency(b *testing.B) {
+	spec, _ := workload.ByName("bfs", 16)
+	for i := 0; i < b.N; i++ {
+		for _, ns := range experiments.Fig10Latencies {
+			bcfg := topology.Default(topology.ProtoBaseline)
+			bcfg.InterSocketNs = ns
+			base, err := idve.Run(spec, idve.RunConfig{Cfg: bcfg, WarmupOps: 30_000, MeasureOps: 80_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dcfg := topology.Default(topology.ProtoDeny)
+			dcfg.InterSocketNs = ns
+			deny, err := idve.Run(spec, idve.RunConfig{Cfg: dcfg, WarmupOps: 30_000, MeasureOps: 80_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(base.Cycles)/float64(deny.Cycles),
+				"deny-speedup-"+map[float64]string{30: "30ns", 50: "50ns", 60: "60ns"}[ns])
+		}
+	}
+}
+
+// BenchmarkEnergyEDP reproduces the Section VII energy study shape.
+func BenchmarkEnergyEDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := quickRunner()
+		r.Workloads = []string{"graph500", "lbm"}
+		perf, err := r.Perf()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem, sys := perf.GeomeanEDP("deny")
+		b.ReportMetric(mem, "memory-EDP-vs-baseline")
+		b.ReportMetric(sys, "system-EDP-vs-baseline")
+	}
+}
+
+// BenchmarkProtocolVerification model-checks both protocol families
+// (Section V-C4).
+func BenchmarkProtocolVerification(b *testing.B) {
+	var states int
+	for i := 0; i < b.N; i++ {
+		a := mcheck.Check(mcheck.Allow, mcheck.Options{})
+		d := mcheck.Check(mcheck.Deny, mcheck.Options{})
+		if !a.OK() || !d.OK() {
+			b.Fatal("protocol verification failed")
+		}
+		states = a.States + d.States
+	}
+	b.ReportMetric(float64(states), "states-explored")
+}
+
+// --- Ablations (DESIGN.md section 4) ---------------------------------------
+
+// BenchmarkAblationSpeculativeReads quantifies the speculative replica
+// access optimization.
+func BenchmarkAblationSpeculativeReads(b *testing.B) {
+	spec, _ := workload.ByName("xsbench", 16)
+	for i := 0; i < b.N; i++ {
+		on := topology.Default(topology.ProtoAllow)
+		off := topology.Default(topology.ProtoAllow)
+		off.SpeculativeReads = false
+		ron, err := idve.Run(spec, idve.RunConfig{Cfg: on, WarmupOps: 30_000, MeasureOps: 80_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		roff, err := idve.Run(spec, idve.RunConfig{Cfg: off, WarmupOps: 30_000, MeasureOps: 80_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(roff.Cycles)/float64(ron.Cycles), "spec-speedup")
+	}
+}
+
+// BenchmarkAblationDualWriteback measures the overhead of keeping the
+// replica synchronously consistent (replicated vs baseline writes).
+func BenchmarkAblationDualWriteback(b *testing.B) {
+	spec, _ := workload.ByName("lbm", 16)
+	for i := 0; i < b.N; i++ {
+		res, err := idve.Run(spec, idve.RunConfig{
+			Cfg: topology.Default(topology.ProtoDeny), WarmupOps: 30_000, MeasureOps: 80_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Counters.DualWritebacks), "dual-writebacks")
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulator speed (ops simulated
+// per wall second matter for experiment turnaround).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := workload.ByName("fft", 16)
+	b.ResetTimer()
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		res, err := idve.Run(spec, idve.RunConfig{
+			Cfg: topology.Default(topology.ProtoDeny), MeasureOps: 50_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.Counters.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "sim-ops/s")
+}

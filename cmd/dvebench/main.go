@@ -1,0 +1,103 @@
+// Command dvebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dvebench -experiment all            # everything (Table I, Figs 1,6-10, energy)
+//	dvebench -experiment fig6 -scale full
+//	dvebench -experiment table1
+//	dvebench -experiment verify         # model-check both protocols
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dve/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "table1|fig1|fig6|fig7|fig8|fig9|fig10|energy|faults|verify|all")
+		scale    = flag.String("scale", "standard", "quick|standard|full")
+		parallel = flag.Int("parallel", 8, "concurrent simulations")
+	)
+	flag.Parse()
+
+	r := experiments.Runner{Parallelism: *parallel}
+	switch *scale {
+	case "quick":
+		r.Scale = experiments.Quick
+	case "standard":
+		r.Scale = experiments.Standard
+	case "full":
+		r.Scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "dvebench: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	want := func(name string) bool { return *exp == name || *exp == "all" }
+	start := time.Now()
+
+	if want("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if want("fig1") {
+		fmt.Println(experiments.Fig1())
+	}
+	if want("verify") {
+		fmt.Println(experiments.Verify())
+	}
+
+	needPerf := want("fig6") || want("fig7") || want("fig8") || want("energy")
+	if needPerf {
+		perf, err := r.Perf()
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig6") {
+			fmt.Println(experiments.FormatFig6(perf))
+			fmt.Printf("Dvé vs Intel-mirroring++ (geomean all): allow %+.1f%%, deny %+.1f%%\n\n",
+				(perf.Geomean("allow", 20)/perf.Geomean("intel-mirror++", 20)-1)*100,
+				(perf.Geomean("deny", 20)/perf.Geomean("intel-mirror++", 20)-1)*100)
+		}
+		if want("fig7") {
+			fmt.Println(experiments.FormatFig7(perf))
+		}
+		if want("fig8") {
+			fmt.Println(experiments.FormatFig8(perf))
+		}
+		if want("energy") {
+			fmt.Println(experiments.FormatEnergy(perf))
+		}
+	}
+	if want("fig9") {
+		f9, err := r.Fig9()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig9(f9))
+	}
+	if want("fig10") {
+		f10, err := r.Fig10()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig10(f10))
+	}
+	if want("faults") {
+		fc, err := r.FaultCampaign("graph500")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFaultCampaign(fc))
+	}
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command dvetrace records and replays multi-threaded memory traces — the
+// role the Prism/SynchroTrace toolchain plays in the paper's methodology.
+//
+// Usage:
+//
+//	dvetrace -record fft.trc -workload fft -ops 2000000
+//	dvetrace -info fft.trc
+//	dvetrace -replay fft.trc -protocol deny -ops 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	idve "dve/internal/dve"
+	"dve/internal/topology"
+	"dve/internal/trace"
+	"dve/internal/workload"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "capture a workload trace to this file")
+		info   = flag.String("info", "", "print a trace file's summary")
+		replay = flag.String("replay", "", "replay this trace through the simulator")
+		name   = flag.String("workload", "fft", "benchmark to capture")
+		proto  = flag.String("protocol", "deny", "protocol for -replay")
+		ops    = flag.Uint64("ops", 1_000_000, "operations to capture / simulate")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		spec, ok := workload.ByName(*name, 16)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Capture(f, spec, *ops); err != nil {
+			fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("captured %d ops of %s to %s (%d bytes)\n", *ops, *name, *record, st.Size())
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		var reads, writes, barriers uint64
+		perThread := map[uint8]uint64{}
+		for {
+			rec, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			perThread[rec.Tid]++
+			switch rec.Kind {
+			case workload.Read:
+				reads++
+			case workload.Write:
+				writes++
+			case workload.Barrier:
+				barriers++
+			}
+		}
+		fmt.Printf("threads: %d\nreads:   %d\nwrites:  %d\nbarriers: %d\n",
+			tr.Threads, reads, writes, barriers)
+		for t := 0; t < tr.Threads; t++ {
+			fmt.Printf("  thread %2d: %d ops\n", t, perThread[uint8(t)])
+		}
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		var p topology.Protocol
+		switch *proto {
+		case "baseline":
+			p = topology.ProtoBaseline
+		case "allow":
+			p = topology.ProtoAllow
+		case "deny":
+			p = topology.ProtoDeny
+		case "dynamic":
+			p = topology.ProtoDynamic
+		default:
+			fatal(fmt.Errorf("unknown protocol %q", *proto))
+		}
+		spec := workload.Spec{Name: "trace", Threads: src.Threads(), FootprintMB: 1}
+		res, err := idve.Run(spec, idve.RunConfig{
+			Cfg:        topology.Default(p),
+			MeasureOps: *ops,
+			Source:     src,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d ops under %s: %d cycles, %d link bytes, %d replica reads\n",
+			res.Counters.Ops, p, res.Cycles, res.Counters.LinkBytes, res.Counters.ReplicaReads)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvetrace:", err)
+	os.Exit(1)
+}

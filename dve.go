@@ -1,0 +1,162 @@
+// Package dve is a from-scratch reproduction of "Dvé: Improving DRAM
+// Reliability and Performance On-Demand via Coherent Replication" (Patil,
+// Nagarajan, Balasubramonian, Oswald — ISCA 2021).
+//
+// Dvé replicates memory blocks across the two sockets of a cache-coherent
+// NUMA system. The coherence protocol keeps the replicas strongly
+// consistent (so a detected memory error is corrected by reading the other
+// copy) and additionally serves fault-free reads from the nearer replica,
+// turning a reliability mechanism into a performance win.
+//
+// The package exposes the user-facing API over the internal substrates:
+//
+//   - Simulate runs a workload on the cycle-approximate 2-socket NUMA
+//     simulator under any protocol (baseline, allow, deny, dynamic,
+//     Intel-mirroring++).
+//   - Workloads returns the 20-benchmark Table III suite.
+//   - Reliability evaluates the Section IV analytical DUE/SDC model.
+//   - VerifyProtocol model-checks the Coherent Replication protocols.
+//   - NewOnDemand manages flexible, runtime-switchable replication (RMT).
+//
+// See cmd/dvebench for regenerating every table and figure of the paper,
+// and examples/ for runnable walkthroughs.
+package dve
+
+import (
+	"dve/internal/coherence"
+	idve "dve/internal/dve"
+	"dve/internal/mcheck"
+	"dve/internal/reliability"
+	"dve/internal/rmt"
+	"dve/internal/stats"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+// Protocol selects the memory system organization.
+type Protocol = topology.Protocol
+
+// Protocols.
+const (
+	Baseline    = topology.ProtoBaseline
+	Allow       = topology.ProtoAllow
+	Deny        = topology.ProtoDeny
+	Dynamic     = topology.ProtoDynamic
+	IntelMirror = topology.ProtoIntelMirror
+)
+
+// Config is the simulated system configuration (paper Table II defaults).
+type Config = topology.Config
+
+// DefaultConfig returns the Table II configuration for a protocol.
+func DefaultConfig(p Protocol) Config { return topology.Default(p) }
+
+// Workload parameterises a synthetic benchmark.
+type Workload = workload.Spec
+
+// Workloads returns the 20 Table III benchmarks for a 16-core system.
+func Workloads() []Workload { return workload.Suite(16) }
+
+// WorkloadByName looks up a Table III benchmark.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name, 16) }
+
+// Result is the outcome of one simulation.
+type Result = idve.Result
+
+// Counters are the per-run statistics.
+type Counters = stats.Counters
+
+// SimOptions control a simulation run.
+type SimOptions struct {
+	// WarmupOps and MeasureOps set the run length (memory operations summed
+	// over the 16 threads); MeasureOps must be positive.
+	WarmupOps, MeasureOps uint64
+	// Classify enables Fig 7 sharing-pattern classification.
+	Classify bool
+	// Faults, when non-nil, injects component failures (see package-level
+	// fault helpers or use OnDemand for RMT-scoped replication).
+	Faults func(socket int, addr uint64) bool
+	// OnDemand, when non-nil, replaces full fixed-function replication with
+	// the flexible RMT: only pages mapped in the manager are replicated.
+	OnDemand *OnDemand
+}
+
+// Simulate runs one workload under one configuration.
+func Simulate(w Workload, cfg Config, opts SimOptions) (*Result, error) {
+	rc := idve.RunConfig{
+		Cfg:        cfg,
+		WarmupOps:  opts.WarmupOps,
+		MeasureOps: opts.MeasureOps,
+		Classify:   opts.Classify,
+	}
+	if opts.Faults != nil {
+		f := opts.Faults
+		rc.FaultFn = func(socket int, a topology.Addr) bool { return f(socket, uint64(a)) }
+	}
+	if opts.OnDemand != nil {
+		rc.ReplicaMap = opts.OnDemand.mgr.Table
+	}
+	return idve.Run(w, rc)
+}
+
+// Speedup returns baseline.Cycles / candidate.Cycles.
+func Speedup(baseline, candidate *Result) float64 {
+	return stats.Speedup(baseline.Cycles, candidate.Cycles)
+}
+
+// OnDemand manages flexible replication: an OS-style replica map table plus
+// a per-socket idle-page allocator (Section V-D). Zero or more page ranges
+// can be replicated or released at runtime; unmapped pages transparently use
+// a single copy.
+type OnDemand struct {
+	mgr *rmt.Manager
+	cfg Config
+}
+
+// NewOnDemand creates a manager whose replica pages are carved from the
+// given idle pages (page numbers; their socket follows the interleaving).
+func NewOnDemand(cfg Config, idlePages []uint64) *OnDemand {
+	return &OnDemand{mgr: rmt.NewManager(&cfg, idlePages), cfg: cfg}
+}
+
+// Replicate enables replication for nPages starting at firstPage. It
+// returns how many pages are now replicated in the range; the error reports
+// idle-memory exhaustion.
+func (o *OnDemand) Replicate(firstPage uint64, nPages int) (int, error) {
+	return o.mgr.Replicate(firstPage, nPages)
+}
+
+// Release disables replication for a page range, returning replica pages to
+// the idle pool ("hot-plugged back to system visible capacity").
+func (o *OnDemand) Release(firstPage uint64, nPages int) int {
+	return o.mgr.Release(firstPage, nPages)
+}
+
+// ReplicatedPages returns the number of pages currently replicated.
+func (o *OnDemand) ReplicatedPages() int { return o.mgr.Table.Len() }
+
+// IdlePages returns the free replica-candidate pages on a socket.
+func (o *OnDemand) IdlePages(socket int) int { return o.mgr.Alloc.FreePages(socket) }
+
+// ReliabilityModel is the Section IV analytical model.
+type ReliabilityModel = reliability.Model
+
+// ReliabilityRates are DUE/SDC rates per billion hours.
+type ReliabilityRates = reliability.Rates
+
+// Reliability returns the Table I model (FIT 66.1, 32 DIMMs x 9 chips).
+func Reliability() ReliabilityModel { return reliability.Default() }
+
+// VerifyProtocol model-checks a Coherent Replication protocol family
+// ("allow" or "deny") and returns a human-readable verdict plus ok.
+func VerifyProtocol(family string) (string, bool) {
+	m := mcheck.Allow
+	if family == "deny" {
+		m = mcheck.Deny
+	}
+	r := mcheck.Check(m, mcheck.Options{})
+	return r.String(), r.OK()
+}
+
+// interface conformance: the RMT table plugs into the coherence layer.
+var _ coherence.ReplicaMapper = (*rmt.Table)(nil)

@@ -1,0 +1,113 @@
+package dve
+
+import (
+	"testing"
+)
+
+// Tests of the public facade: the API a downstream user programs against.
+
+func opts() SimOptions {
+	return SimOptions{WarmupOps: 20_000, MeasureOps: 60_000}
+}
+
+func TestSimulateSpeedup(t *testing.T) {
+	w, ok := WorkloadByName("graph500")
+	if !ok {
+		t.Fatal("workload lookup failed")
+	}
+	base, err := Simulate(w, DefaultConfig(Baseline), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(w, DefaultConfig(Deny), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(base, rep); s <= 1.0 {
+		t.Fatalf("Dvé speedup = %.3f, want > 1", s)
+	}
+}
+
+func TestWorkloadsSuite(t *testing.T) {
+	if len(Workloads()) != 20 {
+		t.Fatalf("%d workloads, want 20", len(Workloads()))
+	}
+	if _, ok := WorkloadByName("not-a-benchmark"); ok {
+		t.Fatal("lookup of a bogus benchmark succeeded")
+	}
+}
+
+func TestReliabilityFacade(t *testing.T) {
+	m := Reliability()
+	if impr := m.Chipkill().DUE / m.DveDSD().DUE; impr < 3.9 || impr > 4.1 {
+		t.Fatalf("DUE improvement = %.2f, want 4x", impr)
+	}
+}
+
+func TestVerifyProtocolFacade(t *testing.T) {
+	for _, fam := range []string{"allow", "deny"} {
+		verdict, ok := VerifyProtocol(fam)
+		if !ok {
+			t.Fatalf("%s protocol failed verification: %s", fam, verdict)
+		}
+	}
+}
+
+func TestOnDemandLifecycle(t *testing.T) {
+	cfg := DefaultConfig(Deny)
+	idle := make([]uint64, 0, 20_000)
+	for p := uint64(1 << 20); p < 1<<20+20_000; p++ {
+		idle = append(idle, p)
+	}
+	od := NewOnDemand(cfg, idle)
+	n, err := od.Replicate(0, 1000)
+	if err != nil || n != 1000 {
+		t.Fatalf("Replicate = %d, %v", n, err)
+	}
+	if od.ReplicatedPages() != 1000 {
+		t.Fatalf("ReplicatedPages = %d", od.ReplicatedPages())
+	}
+
+	w, _ := WorkloadByName("bfs")
+	res, err := Simulate(w, cfg, SimOptions{
+		WarmupOps: 20_000, MeasureOps: 60_000, OnDemand: od,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ReplicaReads == 0 {
+		t.Fatal("partially replicated run never used the replica")
+	}
+
+	if rel := od.Release(0, 1000); rel != 1000 {
+		t.Fatalf("Release = %d", rel)
+	}
+	res2, err := Simulate(w, cfg, SimOptions{
+		WarmupOps: 20_000, MeasureOps: 60_000, OnDemand: od,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters.ReplicaReads != 0 {
+		t.Fatal("released pages still served from replicas")
+	}
+}
+
+func TestFaultInjectionFacade(t *testing.T) {
+	w, _ := WorkloadByName("xsbench")
+	res, err := Simulate(w, DefaultConfig(Allow), SimOptions{
+		MeasureOps: 40_000,
+		Faults: func(socket int, addr uint64) bool {
+			return socket == 1 && addr%4096 < 256
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Recoveries == 0 {
+		t.Fatal("no recoveries despite injected faults")
+	}
+	if res.Counters.DetectedUncorrect != 0 {
+		t.Fatal("single-sided faults must all recover via the replica")
+	}
+}

@@ -1,0 +1,77 @@
+// Fault tolerance: inject DRAM subsystem failures of increasing blast
+// radius — a hard cell fault, an entire chip, a whole channel, and finally a
+// memory-controller failure — and watch Dvé detect each error locally and
+// recover it from the replica on the other socket (Section V-B2). A final
+// scenario fails both copies to show the detected-uncorrectable (machine
+// check) path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dve"
+	"dve/internal/fault"
+	"dve/internal/topology"
+)
+
+func run(name string, build func(cfg *topology.Config) *fault.Set) {
+	w, _ := dve.WorkloadByName("graph500")
+	cfg := dve.DefaultConfig(dve.Deny)
+	set := build(&cfg)
+	res, err := dve.Simulate(w, cfg, dve.SimOptions{
+		MeasureOps: 150_000,
+		Faults: func(socket int, addr uint64) bool {
+			return set.ReadFails(socket, topology.Addr(addr))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := res.Counters
+	fmt.Printf("%-28s CE=%-7d recovered=%-7d DUE=%-5d degraded-lines=%d\n",
+		name, c.CorrectedErrors, c.Recoveries, c.DetectedUncorrect, c.DegradedLines)
+}
+
+func main() {
+	fmt.Println("Dvé replica recovery under injected faults (deny protocol, TSD detection)")
+	fmt.Println()
+
+	run("hard cell fault", func(cfg *topology.Config) *fault.Set {
+		s := fault.NewSet(cfg, fault.CodeTSD)
+		s.Inject(fault.Fault{Kind: fault.Cell, Socket: 0, Addr: 1 << 12})
+		return s
+	})
+
+	run("chip failure", func(cfg *topology.Config) *fault.Set {
+		s := fault.NewSet(cfg, fault.CodeTSD)
+		s.Inject(fault.Fault{Kind: fault.Chip, Socket: 0, Channel: 0, Chip: 3})
+		return s
+	})
+
+	run("channel failure", func(cfg *topology.Config) *fault.Set {
+		s := fault.NewSet(cfg, fault.CodeTSD)
+		s.Inject(fault.Fault{Kind: fault.Channel, Socket: 0, Channel: 1})
+		return s
+	})
+
+	run("memory controller failure", func(cfg *topology.Config) *fault.Set {
+		// The failure mode no ECC-based scheme survives: everything behind
+		// socket 0's controller errors out; the replica on socket 1 serves.
+		s := fault.NewSet(cfg, fault.CodeTSD)
+		s.Inject(fault.Fault{Kind: fault.Controller, Socket: 0})
+		return s
+	})
+
+	run("both controllers (data loss)", func(cfg *topology.Config) *fault.Set {
+		s := fault.NewSet(cfg, fault.CodeTSD)
+		s.Inject(fault.Fault{Kind: fault.Controller, Socket: 0})
+		s.Inject(fault.Fault{Kind: fault.Controller, Socket: 1})
+		return s
+	})
+
+	fmt.Println()
+	fmt.Println("single-sided faults recover with zero DUEs; only the simultaneous")
+	fmt.Println("failure of both independent copies is uncorrectable — the design's")
+	fmt.Println("sole Achilles heel, which Table I shows is vanishingly rare.")
+}

@@ -1,0 +1,3 @@
+module dve
+
+go 1.22

@@ -1,0 +1,67 @@
+package cache
+
+import "dve/internal/topology"
+
+// MSHR tracks in-flight transactions per line. Requests for a line with an
+// outstanding transaction are coalesced and serialized, which is the
+// invariant the paper's recovery path relies on ("any concurrent request ...
+// is serialized and coalesced at the directory in the MSHR", Section V-C3).
+type MSHR struct {
+	entries map[topology.Line][]func()
+	limit   int
+	// Stalls counts requests that found the structure at its limit.
+	Stalls uint64
+}
+
+// NewMSHR creates an MSHR table with a maximum number of distinct in-flight
+// lines (0 means unlimited).
+func NewMSHR(limit int) *MSHR {
+	return &MSHR{entries: make(map[topology.Line][]func()), limit: limit}
+}
+
+// Busy reports whether a transaction is outstanding for the line.
+func (m *MSHR) Busy(l topology.Line) bool {
+	_, ok := m.entries[l]
+	return ok
+}
+
+// Full reports whether a new line could not be allocated.
+func (m *MSHR) Full() bool {
+	return m.limit > 0 && len(m.entries) >= m.limit
+}
+
+// Allocate reserves the line. It panics if the line is already busy (callers
+// must check Busy first) and returns false if the table is full.
+func (m *MSHR) Allocate(l topology.Line) bool {
+	if m.Busy(l) {
+		panic("mshr: double allocate")
+	}
+	if m.Full() {
+		m.Stalls++
+		return false
+	}
+	m.entries[l] = nil
+	return true
+}
+
+// Defer queues fn to run when the line's current transaction completes.
+func (m *MSHR) Defer(l topology.Line, fn func()) {
+	if !m.Busy(l) {
+		panic("mshr: defer without allocation")
+	}
+	m.entries[l] = append(m.entries[l], fn)
+}
+
+// Release completes the line's transaction and returns the deferred waiters
+// in FIFO order. The caller is responsible for running them.
+func (m *MSHR) Release(l topology.Line) []func() {
+	waiters, ok := m.entries[l]
+	if !ok {
+		panic("mshr: release without allocation")
+	}
+	delete(m.entries, l)
+	return waiters
+}
+
+// Inflight returns the number of lines with outstanding transactions.
+func (m *MSHR) Inflight() int { return len(m.entries) }

@@ -1,0 +1,76 @@
+package coherence
+
+import (
+	"dve/internal/sim"
+	"dve/internal/topology"
+)
+
+// Scrubber implements patrol scrubbing: a background daemon that walks the
+// allocated address space re-reading memory through the normal
+// detect-and-recover path, so latent errors are found and repaired before a
+// second failure can pair with them. The scrub interval is the window the
+// Section IV reliability model's coincident-failure terms are defined over
+// — schemes only lose data when failures coincide *within* it.
+type Scrubber struct {
+	sys      *System
+	interval sim.Cycle
+	batch    int
+	cursor   []int
+
+	// ScrubbedLines counts patrol reads issued.
+	ScrubbedLines uint64
+	running       bool
+}
+
+// NewScrubber creates a scrubber that reads batch lines per directory every
+// interval cycles.
+func NewScrubber(sys *System, interval sim.Cycle, batch int) *Scrubber {
+	return &Scrubber{
+		sys:      sys,
+		interval: interval,
+		batch:    batch,
+		cursor:   make([]int, len(sys.Dirs)),
+	}
+}
+
+// Start arms the patrol daemon; it runs for the lifetime of the simulation
+// without keeping it alive.
+func (s *Scrubber) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	var tick func()
+	tick = func() {
+		for di, d := range s.sys.Dirs {
+			lines := d.KnownLines()
+			if len(lines) == 0 {
+				continue
+			}
+			for i := 0; i < s.batch; i++ {
+				l := lines[s.cursor[di]%len(lines)]
+				s.cursor[di]++
+				s.ScrubbedLines++
+				d.Scrub(l)
+			}
+		}
+		s.sys.Eng.ScheduleDaemon(s.interval, tick)
+	}
+	s.sys.Eng.ScheduleDaemon(s.interval, tick)
+}
+
+// Scrub re-reads one line through the detection/recovery path. Errors found
+// are corrected from the replica and the home copy repaired, exactly like a
+// demand read (Section V-B2); the patrol read contends for DRAM like any
+// other access.
+func (d *HomeDir) Scrub(l topology.Line) {
+	// Bypass the MSHR: patrol reads are independent of coherence state (the
+	// memory copy is read as-is; a dirty cached copy simply makes the read
+	// irrelevant, not incorrect, since recovery rewrites only detected-bad
+	// cells with replica data of the same epoch).
+	d.readHomeMem(l, func() {})
+}
+
+// KnownLines returns the lines this directory has ever tracked, in first-
+// touch order (deterministic).
+func (d *HomeDir) KnownLines() []topology.Line { return d.lineOrder }

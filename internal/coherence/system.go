@@ -1,0 +1,266 @@
+// Package coherence implements the two-level hierarchical directory protocol
+// of the simulated machine (Table II): per-core private L1s kept coherent by
+// a local directory embedded in each socket's inclusive LLC, and a global
+// home directory per socket (MOSI, socket-grain sharer vector) adjoining the
+// memory controller.
+//
+// The package exposes the extension points Dvé needs: requests from a socket
+// to remotely-homed lines can be routed through a ReplicaAgent (the Dvé
+// replica directory, package dve) instead of crossing the inter-socket link,
+// and the home directory invokes the agent for invalidations, deny pushes,
+// and dirty-data fetches.
+package coherence
+
+import (
+	"dve/internal/cache"
+	"dve/internal/mem"
+	"dve/internal/noc"
+	"dve/internal/sim"
+	"dve/internal/stats"
+	"dve/internal/topology"
+)
+
+// ReplicaMapper translates an address to its replica address; ok=false
+// means the address is not replicated (the flexible table-based mapping of
+// Section V-D).
+type ReplicaMapper interface {
+	ReplicaAddr(a topology.Addr) (topology.Addr, bool)
+}
+
+// ReplicaAgent is the interface the home directory and LLCs use to interact
+// with a Dvé replica directory located on a socket. All methods are invoked
+// at the agent's socket; any link crossing to reach the agent has already
+// been paid by the caller.
+type ReplicaAgent interface {
+	// LocalGETS handles a read request from this socket's LLC for a line
+	// homed on the other socket. done fires when data is available at the
+	// LLC; fromReplica reports whether the local replica supplied it.
+	LocalGETS(l topology.Line, needData bool, done func(fromReplica bool))
+	// LocalGETX handles a write (exclusive) request from this socket's LLC.
+	LocalGETX(l topology.Line, needData bool, done func())
+	// LocalPUTM handles a dirty writeback from this socket's LLC: the data
+	// must reach both the replica memory and the home memory synchronously.
+	LocalPUTM(l topology.Line, done func())
+	// HomeInvalidate is pushed by the home directory when a home-side agent
+	// acquires exclusive access (allow protocol: INV; deny protocol: DENY,
+	// which installs the RM state). The agent invalidates any replica-side
+	// LLC copies and acks.
+	HomeInvalidate(l topology.Line, ack func())
+	// HomeUndeny clears a previously pushed deny (RM) after the home-side
+	// writer has written back (deny protocol only; no ack needed).
+	HomeUndeny(l topology.Line)
+	// HomeFetch retrieves dirty data from the replica-side owner LLC:
+	// the agent probes its LLC, writes the replica memory, and acks with the
+	// data (the link crossing back to home is paid by the caller). If
+	// invalidate is set the owner's copy is invalidated, otherwise it is
+	// downgraded to Shared.
+	HomeFetch(l topology.Line, invalidate bool, ack func())
+	// Drain clears replica-directory state ahead of a protocol switch
+	// (dynamic protocol, Section V-C5).
+	Drain(done func())
+}
+
+// System wires together the cores, caches, directories, memory controllers
+// and interconnect of the simulated machine.
+type System struct {
+	Eng  *sim.Engine
+	Cfg  *topology.Config
+	AMap *topology.AddrMap
+	Mesh *noc.Mesh
+	Link *noc.Link
+
+	MCs  []*mem.Controller
+	LLCs []*LLC
+	Dirs []*HomeDir
+
+	// Replicas[s] is the replica agent at socket s (handling lines homed at
+	// the other socket), or nil when the configuration has no coherent
+	// replication.
+	Replicas []ReplicaAgent
+
+	// ReplicaMap, when non-nil, provides flexible (RMT) replica mapping:
+	// pages without an entry fall back to a single copy. When nil, the
+	// fixed-function mapping replicates the entire memory (Section III).
+	ReplicaMap ReplicaMapper
+
+	Cnt *stats.Counters
+
+	// DebugLine/DebugLog: when set, protocol steps touching DebugLine are
+	// reported (test diagnostics only).
+	DebugLine topology.Line
+	DebugLog  func(format string, args ...any)
+
+	// Classify enables Fig 7 sharing-pattern classification at the home
+	// directories.
+	Classify bool
+
+	l1s []*cache.Cache
+}
+
+// New builds a system for the configuration. Replica agents are attached
+// afterwards (SetReplicaAgent) to keep this package independent of the Dvé
+// implementation.
+func New(cfg *topology.Config) *System {
+	eng := sim.NewEngine()
+	amap := topology.NewAddrMap(cfg)
+	s := &System{
+		Eng:  eng,
+		Cfg:  cfg,
+		AMap: amap,
+		Mesh: noc.NewMesh(cfg.MeshRows, cfg.MeshCols, cfg.MeshHopCyc),
+		Link: noc.NewLink(eng, sim.Cycle(cfg.InterSocketCyc())),
+		Cnt:  &stats.Counters{},
+	}
+	s.Cnt.DRAMChannels = cfg.ChannelsPerSkt * cfg.Sockets
+	s.Replicas = make([]ReplicaAgent, cfg.Sockets)
+	for sk := 0; sk < cfg.Sockets; sk++ {
+		mc := mem.NewController(eng, cfg, amap, sk)
+		if cfg.Protocol == topology.ProtoIntelMirror {
+			mc.Mirror = true
+		}
+		mc.EnableRefresh()
+		s.MCs = append(s.MCs, mc)
+		s.Dirs = append(s.Dirs, newHomeDir(s, sk))
+		s.LLCs = append(s.LLCs, newLLC(s, sk))
+	}
+	for c := 0; c < cfg.TotalCores(); c++ {
+		s.l1s = append(s.l1s, cache.New(cfg.L1SizeBytes, cfg.L1Ways, cfg.LineSizeBytes))
+	}
+	return s
+}
+
+// SetReplicaAgent attaches the replica agent for a socket.
+func (s *System) SetReplicaAgent(socket int, a ReplicaAgent) { s.Replicas[socket] = a }
+
+// ReplicaAddrOf returns the replica address of a line and whether one
+// exists under the active mapping.
+func (s *System) ReplicaAddrOf(l topology.Line) (topology.Addr, bool) {
+	if !s.Cfg.Replicated() {
+		return 0, false
+	}
+	if s.ReplicaMap != nil {
+		return s.ReplicaMap.ReplicaAddr(topology.Addr(l))
+	}
+	return s.AMap.ReplicaAddr(topology.Addr(l)), true
+}
+
+// HasReplica reports whether the line is replicated.
+func (s *System) HasReplica(l topology.Line) bool {
+	_, ok := s.ReplicaAddrOf(l)
+	return ok
+}
+
+// SocketOf returns the socket a core belongs to.
+func (s *System) SocketOf(core int) int { return core / s.Cfg.CoresPerSocket }
+
+// coreLatency returns the mesh latency from a core's tile to its socket's
+// LLC/home tile.
+func (s *System) coreLatency(core int) sim.Cycle {
+	local := core % s.Cfg.CoresPerSocket
+	return s.Mesh.Latency(s.Mesh.CoreTile(local), s.Mesh.HomeTile())
+}
+
+// Access issues a memory operation from a core and invokes done when it
+// completes. Reads complete when data reaches the core; writes complete when
+// write permission is held (stores retire into the L1).
+func (s *System) Access(core int, write bool, a topology.Addr, done func()) {
+	if write {
+		s.Cnt.Writes++
+	} else {
+		s.Cnt.Reads++
+	}
+	line := s.AMap.LineOf(a)
+	l1 := s.l1s[core]
+	e := l1.Lookup(line)
+	hit := e != nil && (e.State.Readable() && !write || e.State.Writable())
+	if hit {
+		s.Cnt.L1Hits++
+		if write {
+			e.Dirty = true
+		}
+		s.Eng.Schedule(sim.Cycle(s.Cfg.L1LatencyCyc), done)
+		return
+	}
+	s.Cnt.L1Misses++
+	lat := sim.Cycle(s.Cfg.L1LatencyCyc) + s.coreLatency(core)
+	s.Eng.Schedule(lat, func() {
+		s.LLCs[s.SocketOf(core)].Request(core, write, line, func() {
+			// Fill the L1 and complete after the return trip.
+			s.l1Fill(core, line, write)
+			s.Eng.Schedule(s.coreLatency(core), done)
+		})
+	})
+}
+
+// l1Fill installs a line into a core's L1 after an LLC grant, updating the
+// local directory bits and handling the L1 victim.
+func (s *System) l1Fill(core int, line topology.Line, write bool) {
+	l1 := s.l1s[core]
+	st := cache.Shared
+	if write {
+		st = cache.Modified
+	}
+	e, victim, evicted := l1.Insert(line, st)
+	e.Dirty = write
+	if evicted {
+		s.llcAbsorbL1Victim(core, victim)
+	}
+	s.LLCs[s.SocketOf(core)].noteL1Fill(core, line, write)
+}
+
+// llcAbsorbL1Victim handles an L1 eviction: dirty data merges into the LLC
+// copy; the local directory sharer bit is cleared.
+func (s *System) llcAbsorbL1Victim(core int, victim cache.Entry) {
+	llc := s.LLCs[s.SocketOf(core)]
+	if le := llc.store.Peek(victim.Line); le != nil {
+		if victim.Dirty {
+			le.Dirty = true
+		}
+		lc := core % s.Cfg.CoresPerSocket
+		le.Sharers &^= 1 << uint(lc)
+		if le.Owner == int8(lc) {
+			le.Owner = -1
+		}
+	}
+}
+
+// probeL1 invalidates (or downgrades) a core's L1 copy, returning whether the
+// copy was dirty. State changes are immediate; the caller accounts latency.
+func (s *System) probeL1(core int, line topology.Line, invalidate bool) (dirty bool) {
+	l1 := s.l1s[core]
+	e := l1.Peek(line)
+	if e == nil {
+		return false
+	}
+	dirty = e.Dirty
+	if invalidate {
+		l1.Invalidate(line)
+	} else if e.State == cache.Modified {
+		e.State = cache.Shared
+	}
+	return dirty
+}
+
+// sendToHome delivers fn at the home directory of the line, paying the link
+// if the requester's socket differs from the home socket.
+func (s *System) sendToHome(fromSocket int, l topology.Line, bytes int, fn func()) {
+	home := s.AMap.HomeSocketLine(l)
+	if fromSocket == home {
+		s.Eng.Schedule(0, fn)
+		return
+	}
+	s.Link.Send(fromSocket, bytes, fn)
+}
+
+// replyFromHome delivers fn at the requester, paying the link if needed.
+func (s *System) replyFromHome(l topology.Line, toSocket int, bytes int, fn func()) {
+	home := s.AMap.HomeSocketLine(l)
+	if toSocket == home {
+		s.Eng.Schedule(0, fn)
+		return
+	}
+	s.Link.Send(home, bytes, fn)
+}
+
+// Drain runs the engine until all queued events complete.
+func (s *System) Drain() { s.Eng.Run() }

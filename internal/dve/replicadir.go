@@ -1,0 +1,621 @@
+// Package dve implements the paper's contribution: Coherent Replication.
+//
+// A ReplicaDir is attached to each socket and manages coherent access to the
+// replicas of lines homed on the *other* socket. It implements both protocol
+// families of Section V-C — allow-based (lazy pull of read permissions) and
+// deny-based (eager push of deny permissions, with the RemoteModified state)
+// — plus the three optimizations of Section V-C5: speculative replica
+// access, coarse-grained (region) tracking, and the sampling-based dynamic
+// protocol. The package also provides the workload runner that reproduces
+// the paper's evaluation.
+package dve
+
+import (
+	"dve/internal/cache"
+	"dve/internal/coherence"
+	"dve/internal/noc"
+	"dve/internal/sim"
+	"dve/internal/topology"
+)
+
+// Mode selects the replica-directory protocol family.
+type Mode int
+
+const (
+	// Allow: replica accessible only with an explicit entry (absence = no).
+	Allow Mode = iota
+	// Deny: replica accessible unless an RM entry forbids it (absence = yes).
+	Deny
+)
+
+// String returns the protocol family name.
+func (m Mode) String() string {
+	if m == Deny {
+		return "deny"
+	}
+	return "allow"
+}
+
+// ReplicaDir is the replica directory controller of one socket. It services
+// requests from its socket's LLC for lines homed on the other socket, keeps
+// the replica in sync via synchronous dual writebacks, and answers the home
+// directory's invalidations, deny pushes, and fetches.
+type ReplicaDir struct {
+	sys    *coherence.System
+	socket int
+	mode   Mode
+
+	// store is the fully associative on-chip entry structure (2K entries by
+	// default, Section VI). Under the deny protocol it caches the durable
+	// backing state; under allow it is the only record.
+	store *cache.Cache
+	// backing is the deny protocol's durable per-line state (the in-memory
+	// full directory the cache misses fetch from).
+	backing map[topology.Line]cache.State
+	// regions tracks coarse-grain grants (allow + CoarseGrain, Fig 9).
+	regions map[uint64]bool
+	// owners durably records lines this socket's LLC holds in M. It models
+	// pinned Modified entries: a real replica directory cannot silently
+	// evict an owner entry (the model checker shows a stale writeback would
+	// then corrupt the replica), so ownership records are exempt from the
+	// capacity-bounded store.
+	owners map[topology.Line]bool
+
+	mshr *cache.MSHR
+
+	// fillPending tracks lines with a granted-but-unfilled local demand
+	// transaction (the grant may still be reading the replica DRAM). Home
+	// probes for such lines are deferred until the fill lands — the
+	// simulator's equivalent of the ordered RD->LLC channel that makes this
+	// race benign in the verified model. Writebacks (LocalPUTM) do not set
+	// it: deferring probes across a writeback would deadlock with the home
+	// MSHR, and the LLC answers probes correctly during one.
+	fillPending map[topology.Line][]func()
+
+	// dirFetchLat is the cost of fetching a directory entry from DRAM on a
+	// store miss under the deny protocol.
+	dirFetchLat sim.Cycle
+
+	oracular bool
+}
+
+// New creates the replica directory for a socket and registers it with the
+// system.
+func New(sys *coherence.System, socket int, mode Mode) *ReplicaDir {
+	cfg := sys.Cfg
+	rd := &ReplicaDir{
+		sys:         sys,
+		socket:      socket,
+		mode:        mode,
+		store:       cache.NewFullyAssoc(cfg.ReplicaDirEntries, cfg.LineSizeBytes),
+		backing:     make(map[topology.Line]cache.State),
+		regions:     make(map[uint64]bool),
+		owners:      make(map[topology.Line]bool),
+		fillPending: make(map[topology.Line][]func()),
+		mshr:        cache.NewMSHR(0),
+		dirFetchLat: sim.Cycle(cfg.Cycles(cfg.TRCDns+cfg.TCLns)) +
+			10, // activate + CAS + burst for the in-memory directory line
+		oracular: cfg.Oracular,
+	}
+	sys.SetReplicaAgent(socket, rd)
+	return rd
+}
+
+// Mode returns the current protocol family.
+func (rd *ReplicaDir) Mode() Mode { return rd.mode }
+
+// DenyMode reports whether the deny protocol is active; the home directory
+// uses it to decide whether deny pushes are required.
+func (rd *ReplicaDir) DenyMode() bool { return rd.mode == Deny }
+
+func (rd *ReplicaDir) home() *coherence.HomeDir {
+	return rd.sys.Dirs[(rd.socket+1)%rd.sys.Cfg.Sockets]
+}
+
+func (rd *ReplicaDir) replicaAddr(l topology.Line) topology.Addr {
+	ra, ok := rd.sys.ReplicaAddrOf(l)
+	if !ok {
+		// Routing guarantees the replica exists; reaching here is a bug.
+		panic("dve: replica directory asked about an unreplicated line")
+	}
+	return ra
+}
+
+func (rd *ReplicaDir) regionOf(l topology.Line) uint64 {
+	return uint64(l) / uint64(rd.sys.Cfg.RegionBytes)
+}
+
+// seq serializes replica-directory transactions per line, paying the
+// directory access latency (same as the home directory, Section VI).
+func (rd *ReplicaDir) seq(l topology.Line, fn func(release func())) {
+	rd.sys.Eng.Schedule(sim.Cycle(rd.sys.Cfg.DirLatencyCyc), func() {
+		if rd.mshr.Busy(l) {
+			rd.mshr.Defer(l, func() { rd.seq(l, fn) })
+			return
+		}
+		rd.mshr.Allocate(l)
+		fn(func() {
+			for _, w := range rd.mshr.Release(l) {
+				w()
+			}
+		})
+	})
+}
+
+// readReplicaMem reads the line's replica from this socket's local memory,
+// recovering via the home copy if the local ECC check fails.
+func (rd *ReplicaDir) readReplicaMem(l topology.Line, cb func()) {
+	cnt := rd.sys.Cnt
+	rd.sys.MCs[rd.socket].Read(rd.replicaAddr(l), func(failed bool) {
+		if !failed {
+			cb()
+			return
+		}
+		// Divert to the home memory controller (Section V-B2).
+		home := (rd.socket + 1) % rd.sys.Cfg.Sockets
+		rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
+			rd.sys.MCs[home].Read(topology.Addr(l), func(failed2 bool) {
+				rd.sys.Link.Send(home, noc.DataBytes, func() {
+					if failed2 {
+						cnt.DetectedUncorrect++
+					} else {
+						cnt.CorrectedErrors++
+						cnt.Recoveries++
+						// Try to repair the replica copy.
+						rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), func() {})
+					}
+					cb()
+				})
+			})
+		})
+	})
+}
+
+// LocalGETS implements coherence.ReplicaAgent. done(fromReplica) runs when
+// data is available at this socket's LLC.
+func (rd *ReplicaDir) LocalGETS(l topology.Line, needData bool, done func(fromReplica bool)) {
+	rd.seq(l, func(release func()) {
+		fin := func(fromReplica bool) {
+			done(fromReplica)
+			rd.fillDone(l)
+			release()
+		}
+		if rd.oracular {
+			rd.oracleGETS(l, fin)
+			return
+		}
+		if rd.mode == Deny {
+			rd.denyGETS(l, fin)
+			return
+		}
+		rd.allowGETS(l, fin)
+	})
+}
+
+func (rd *ReplicaDir) allowGETS(l topology.Line, fin func(bool)) {
+	cnt := rd.sys.Cnt
+	if e := rd.store.Lookup(l); e != nil {
+		cnt.ReplicaDirHits++
+		// S or M entry: the replica (or our own LLC) holds current data.
+		// An M entry here is a degenerate race; serve locally either way.
+		// Mark the fill in flight so home probes defer behind it; this
+		// transaction completes without home involvement, so the deferral
+		// cannot deadlock against the home MSHR.
+		rd.fillPending[l] = nil
+		rd.readReplicaMem(l, func() { fin(true) })
+		return
+	}
+	if rd.sys.Cfg.CoarseGrain && rd.regions[rd.regionOf(l)] {
+		cnt.ReplicaDirHits++
+		rd.fillPending[l] = nil
+		rd.readReplicaMem(l, func() { fin(true) })
+		return
+	}
+	cnt.ReplicaDirMisses++
+	if rd.sys.Cfg.CoarseGrain {
+		rd.allowRegionMiss(l, fin)
+		return
+	}
+	rd.allowLineMiss(l, fin)
+}
+
+// specJoin synchronizes a speculative replica read with the home grant: the
+// later of the two completes the request.
+type specJoin struct {
+	specDone  bool
+	waiting   bool
+	onSpec    func()
+	cancelled bool
+}
+
+func (j *specJoin) specLanded() {
+	j.specDone = true
+	if j.waiting && !j.cancelled {
+		j.onSpec()
+	}
+}
+
+// allowLineMiss pulls a read permission from the home directory, overlapping
+// a speculative local replica read with the round trip when enabled.
+func (rd *ReplicaDir) allowLineMiss(l topology.Line, fin func(bool)) {
+	cnt := rd.sys.Cnt
+	spec := rd.sys.Cfg.SpeculativeReads
+	var join *specJoin
+	if spec {
+		cnt.SpecIssued++
+		join = &specJoin{}
+		rd.readReplicaMem(l, join.specLanded)
+	}
+	rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
+		rd.home().ReplicaGETS(l, func(dataShipped bool) {
+			// Grant received: home has serialized us; probes sent by later
+			// home transactions must now wait for our fill.
+			rd.fillPending[l] = nil
+			rd.insertEntry(l, cache.Shared)
+			if dataShipped {
+				// Home LLC was dirty: the shipped data is also the replica
+				// update half of the dual writeback.
+				if spec {
+					cnt.SpecSquashed++
+					join.cancelled = true
+				}
+				rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), func() {})
+				fin(false)
+				return
+			}
+			if spec {
+				if join.specDone {
+					fin(true) // fully overlapped
+					return
+				}
+				join.waiting = true
+				join.onSpec = func() { fin(true) }
+				return
+			}
+			rd.readReplicaMem(l, func() { fin(true) })
+		})
+	})
+}
+
+// allowRegionMiss tries to obtain a coarse-grain region grant; on refusal it
+// falls back to a line grant.
+func (rd *ReplicaDir) allowRegionMiss(l topology.Line, fin func(bool)) {
+	region := rd.regionOf(l)
+	rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
+		granted := rd.home().GrantRegion(topology.Line(region*uint64(rd.sys.Cfg.RegionBytes)),
+			rd.sys.Cfg.RegionBytes/rd.sys.Cfg.LineSizeBytes)
+		rd.sys.Link.Send((rd.socket+1)%rd.sys.Cfg.Sockets, noc.CtrlBytes, func() {
+			if granted {
+				rd.regions[region] = true
+				rd.fillPending[l] = nil
+				rd.readReplicaMem(l, func() { fin(true) })
+				return
+			}
+			// A line in the region is writable on the home side: fall back.
+			rd.allowLineMiss(l, fin)
+		})
+	})
+}
+
+func (rd *ReplicaDir) denyGETS(l topology.Line, fin func(bool)) {
+	cnt := rd.sys.Cnt
+	st, ok := rd.backing[l]
+	cachedEntry := rd.store.Lookup(l) != nil
+	var entryLat sim.Cycle
+	spec := false
+	if cachedEntry {
+		cnt.ReplicaDirHits++
+	} else {
+		cnt.ReplicaDirMisses++
+		// Fetch the durable entry from memory; speculatively read the
+		// replica in parallel (Section V-C5).
+		entryLat = rd.dirFetchLat
+		if rd.sys.Cfg.SpeculativeReads {
+			spec = true
+			cnt.SpecIssued++
+		}
+		rd.insertEntry(l, stOrShared(st, ok))
+	}
+	var join *specJoin
+	if spec {
+		join = &specJoin{}
+		rd.readReplicaMem(l, join.specLanded)
+	}
+	rd.sys.Eng.Schedule(entryLat, func() {
+		if ok && st == cache.RemoteModified {
+			// Replica is stale: the home LLC holds the line writable.
+			if spec {
+				cnt.SpecSquashed++
+				join.cancelled = true
+			}
+			rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
+				rd.home().ReplicaGETS(l, func(dataShipped bool) {
+					rd.fillPending[l] = nil
+					rd.backing[l] = cache.Shared
+					rd.insertEntry(l, cache.Shared)
+					if dataShipped {
+						rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), func() {})
+					}
+					fin(false)
+				})
+			})
+			return
+		}
+		// Absence (or S/M): the replica is current — read it locally with
+		// no link traffic at all. Home probes defer behind the in-flight
+		// fill (no home transaction involved: deadlock-free).
+		rd.fillPending[l] = nil
+		rd.backing[l] = cache.Shared
+		if spec {
+			if join.specDone {
+				fin(true)
+				return
+			}
+			join.waiting = true
+			join.onSpec = func() { fin(true) }
+			return
+		}
+		rd.readReplicaMem(l, func() { fin(true) })
+	})
+}
+
+func stOrShared(st cache.State, ok bool) cache.State {
+	if ok {
+		return st
+	}
+	return cache.Shared
+}
+
+// oracleGETS models the oracular allow scheme of Fig 9: infinite entries and
+// zero-latency insertion. It consults home state with oracle knowledge; only
+// genuinely-required transfers (home-side dirty data) pay latency.
+func (rd *ReplicaDir) oracleGETS(l topology.Line, fin func(bool)) {
+	cnt := rd.sys.Cnt
+	st, owner, _ := rd.home().Entry(l)
+	homeSocket := (rd.socket + 1) % rd.sys.Cfg.Sockets
+	if (st == cache.Modified || st == cache.Owned) && owner == homeSocket {
+		cnt.ReplicaDirMisses++
+		rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
+			rd.home().ReplicaGETS(l, func(dataShipped bool) {
+				rd.fillPending[l] = nil
+				if dataShipped {
+					rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), func() {})
+				}
+				fin(false)
+			})
+		})
+		return
+	}
+	cnt.ReplicaDirHits++
+	rd.home().OracleAddSharer(l, rd.socket)
+	rd.fillPending[l] = nil
+	rd.readReplicaMem(l, func() { fin(true) })
+}
+
+// LocalGETX implements coherence.ReplicaAgent: exclusive permission always
+// serializes at the home directory; when the home side holds no dirty copy
+// the grant is control-only and data comes from the local replica.
+func (rd *ReplicaDir) LocalGETX(l topology.Line, needData bool, done func()) {
+	rd.seq(l, func(release func()) {
+		fin := func() {
+			done()
+			rd.fillDone(l)
+			release()
+		}
+		var entryLat sim.Cycle
+		if rd.mode == Deny && !rd.oracular {
+			if rd.store.Lookup(l) == nil {
+				entryLat = rd.dirFetchLat
+			}
+		}
+		rd.sys.Eng.Schedule(entryLat, func() {
+			rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
+				rd.home().ReplicaGETX(l, func(dataShipped bool) {
+					rd.fillPending[l] = nil
+					rd.recordOwnership(l)
+					if dataShipped || !needData {
+						fin()
+						return
+					}
+					// Replica memory is current: supply data locally.
+					rd.readReplicaMem(l, fin)
+				})
+			})
+		})
+	})
+}
+
+func (rd *ReplicaDir) recordOwnership(l topology.Line) {
+	rd.owners[l] = true
+	if rd.oracular {
+		return
+	}
+	rd.insertEntry(l, cache.Modified)
+	if rd.mode == Deny {
+		rd.backing[l] = cache.Modified
+	}
+}
+
+// insertEntry installs a line entry in the on-chip structure; silent
+// eviction of the victim is safe in both modes (allow: absence = no; deny:
+// the durable backing holds the truth).
+func (rd *ReplicaDir) insertEntry(l topology.Line, st cache.State) {
+	e, _, _ := rd.store.Insert(l, st)
+	e.State = st
+}
+
+// LocalPUTM implements coherence.ReplicaAgent: a dirty writeback from this
+// socket's LLC updates the replica locally and ships the data home so both
+// copies are written synchronously (Section V-B1).
+func (rd *ReplicaDir) LocalPUTM(l topology.Line, done func()) {
+	rd.seq(l, func(release func()) {
+		if !rd.owners[l] {
+			// Ownership was fetched away while this writeback was queued:
+			// the fetch already carried the data home. Applying the stale
+			// data now would corrupt the replica (found by the model
+			// checker); just complete the eviction.
+			done()
+			release()
+			return
+		}
+		delete(rd.owners, l)
+		rd.sys.Cnt.DualWritebacks++
+		remaining := 2
+		part := func() {
+			remaining--
+			if remaining == 0 {
+				done()
+				release()
+			}
+		}
+		rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), part)
+		rd.sys.Link.Send(rd.socket, noc.DataBytes, func() {
+			rd.home().ReplicaPUTM(l, func() {
+				rd.sys.Link.Send((rd.socket+1)%rd.sys.Cfg.Sockets, noc.CtrlBytes, part)
+			})
+		})
+		// Both copies now (will) hold current data.
+		if rd.mode == Deny {
+			delete(rd.backing, l)
+		}
+		rd.store.Invalidate(l)
+	})
+}
+
+// fillDone completes a demand fill: deferred home probes now run, in order.
+func (rd *ReplicaDir) fillDone(l topology.Line) {
+	waiters := rd.fillPending[l]
+	delete(rd.fillPending, l)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// deferToFill queues fn behind an in-flight demand fill for the line; it
+// reports whether a fill was pending.
+func (rd *ReplicaDir) deferToFill(l topology.Line, fn func()) bool {
+	if w, ok := rd.fillPending[l]; ok {
+		rd.fillPending[l] = append(w, fn)
+		return true
+	}
+	return false
+}
+
+// HomeInvalidate implements coherence.ReplicaAgent: the home side is taking
+// exclusive access. Allow: drop the entry (and any covering region). Deny:
+// install the durable RM state. Either way replica-side LLC copies die.
+func (rd *ReplicaDir) HomeInvalidate(l topology.Line, ack func()) {
+	if rd.deferToFill(l, func() { rd.HomeInvalidate(l, ack) }) {
+		return
+	}
+	lat := sim.Cycle(rd.sys.Cfg.DirLatencyCyc)
+	delete(rd.owners, l)
+	rd.sys.LLCs[rd.socket].Probe(l, true)
+	if rd.mode == Deny && !rd.oracular {
+		rd.backing[l] = cache.RemoteModified
+		rd.insertEntry(l, cache.RemoteModified)
+	} else {
+		rd.store.Invalidate(l)
+		if rd.sys.Cfg.CoarseGrain {
+			region := rd.regionOf(l)
+			if rd.regions[region] {
+				delete(rd.regions, region)
+				// Invalidate every LLC line of the region: the coarse-grain
+				// penalty the paper observes on nw, sp, barnes, canneal.
+				linesPerRegion := rd.sys.Cfg.RegionBytes / rd.sys.Cfg.LineSizeBytes
+				base := topology.Line(region * uint64(rd.sys.Cfg.RegionBytes))
+				n := 0
+				for i := 0; i < linesPerRegion; i++ {
+					rl := base + topology.Line(i*rd.sys.Cfg.LineSizeBytes)
+					if rd.sys.LLCs[rd.socket].Probe(rl, true) || rd.sys.LLCs[rd.socket].HasLine(rl) {
+						n++
+					}
+				}
+				lat += sim.Cycle(2 * n)
+			}
+		}
+	}
+	rd.sys.Eng.Schedule(lat, ack)
+}
+
+// HomeUndeny implements coherence.ReplicaAgent: a home-side writeback
+// completed; the replica is current again.
+func (rd *ReplicaDir) HomeUndeny(l topology.Line) {
+	if rd.mode != Deny {
+		return
+	}
+	delete(rd.backing, l)
+	rd.store.Invalidate(l)
+}
+
+// HomeFetch implements coherence.ReplicaAgent: retrieve dirty data from this
+// socket's LLC on behalf of the home directory.
+func (rd *ReplicaDir) HomeFetch(l topology.Line, invalidate bool, ack func()) {
+	if rd.deferToFill(l, func() { rd.HomeFetch(l, invalidate, ack) }) {
+		return
+	}
+	lat := sim.Cycle(rd.sys.Cfg.DirLatencyCyc + rd.sys.Cfg.LLCLatencyCyc)
+	delete(rd.owners, l)
+	if invalidate {
+		rd.sys.LLCs[rd.socket].Probe(l, true)
+		if rd.mode == Deny && !rd.oracular {
+			// The home side is taking exclusive access.
+			rd.backing[l] = cache.RemoteModified
+			rd.insertEntry(l, cache.RemoteModified)
+		} else {
+			rd.store.Invalidate(l)
+		}
+	} else {
+		rd.sys.LLCs[rd.socket].Downgrade(l)
+		// Half of the dual writeback: update the replica copy here; the
+		// data message back to home updates the home copy.
+		rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), func() {})
+		if rd.mode == Deny && !rd.oracular {
+			rd.backing[l] = cache.Shared
+		}
+		rd.insertEntry(l, cache.Shared)
+	}
+	rd.sys.Eng.Schedule(lat, ack)
+}
+
+// Drain implements coherence.ReplicaAgent: clear all replica-directory state
+// ahead of a protocol switch (Section V-C5). When entering deny mode the
+// durable state is rebuilt from the home directory so that absent entries
+// are again safe to read (the paper's "warmup phase to bring the metadata
+// entries au courant").
+func (rd *ReplicaDir) Drain(done func()) {
+	rd.store.Clear()
+	rd.regions = make(map[uint64]bool)
+	rd.backing = make(map[topology.Line]cache.State)
+	// Ownership records are rebuilt from the home directory (the durable
+	// source of truth) so stale writebacks stay detectable across a switch.
+	rd.owners = make(map[topology.Line]bool)
+	for _, l := range rd.home().LinesOwnedBy(rd.socket) {
+		rd.owners[l] = true
+	}
+	rd.sys.Eng.Schedule(sim.Cycle(rd.sys.Cfg.DirLatencyCyc), done)
+}
+
+// SetMode switches the protocol family, draining first. Entering allow
+// mode re-registers this socket's remote-homed clean shared lines as
+// sharers at home: deny-mode replica reads never registered them, so
+// allow-mode (sharer-driven) invalidations would otherwise miss them — the
+// paper's "warmup phase to bring the metadata entries au courant".
+func (rd *ReplicaDir) SetMode(m Mode, done func()) {
+	rd.Drain(func() {
+		rd.mode = m
+		if m == Allow {
+			rd.sys.LLCs[rd.socket].RegisterRemoteShared()
+		}
+		if m == Deny {
+			// Warmup: pull the deny set (home-side writable lines) so that
+			// entry absence is trustworthy again.
+			for _, l := range rd.home().LinesOwnedBy((rd.socket + 1) % rd.sys.Cfg.Sockets) {
+				rd.backing[l] = cache.RemoteModified
+			}
+		}
+		done()
+	})
+}
+
+var _ coherence.ReplicaAgent = (*ReplicaDir)(nil)

@@ -1,0 +1,356 @@
+package dve
+
+import (
+	"fmt"
+
+	"dve/internal/coherence"
+	"dve/internal/sim"
+	"dve/internal/stats"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+// RunConfig controls a simulation run.
+type RunConfig struct {
+	Cfg topology.Config
+	// WarmupOps memory operations (summed over threads) warm caches and
+	// metadata before the region of interest; MeasureOps are then simulated
+	// in detail (Section VI "Workloads").
+	WarmupOps  uint64
+	MeasureOps uint64
+	// Classify enables Fig 7 sharing-pattern classification (normally only
+	// on baseline runs).
+	Classify bool
+	// FaultFn, when set, is installed on both memory controllers to inject
+	// detected-uncorrectable local ECC failures.
+	FaultFn func(socket int, a topology.Addr) bool
+	// ReplicaMap, when set, replaces the fixed-function mapping with the
+	// flexible RMT: only mapped pages are replicated (Section V-D).
+	ReplicaMap coherence.ReplicaMapper
+	// Source, when set, replaces the synthetic generator with an external
+	// operation source (e.g. a recorded trace, package trace).
+	Source OpSource
+	// ScrubIntervalCyc enables patrol scrubbing with the given tick period
+	// (0 = off); ScrubBatch lines are scrubbed per directory per tick.
+	ScrubIntervalCyc uint64
+	ScrubBatch       int
+}
+
+// OpSource supplies per-thread operation streams; both the synthetic
+// workload generator and trace.Source implement it.
+type OpSource interface {
+	Next(tid int) workload.Op
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Workload string
+	Protocol topology.Protocol
+	// Cycles is the region-of-interest duration.
+	Cycles uint64
+	// Counters are the ROI statistics (link traffic, classes, DRAM, ...).
+	Counters stats.Counters
+	// InvariantViolations is the post-run coherence audit (SWMR, directory
+	// agreement, inclusion); it must be empty for a correct protocol.
+	InvariantViolations []string
+}
+
+// barrierLatency approximates the synchronization cost of a barrier episode.
+const barrierLatency = 100
+
+// runner drives one workload through one system configuration.
+type runner struct {
+	sys  *coherence.System
+	gen  OpSource
+	rc   RunConfig
+	rds  []*ReplicaDir
+	cfg  *topology.Config
+	nthr int
+
+	totalOps uint64
+	budget   uint64
+	roiStart sim.Cycle
+	inROI    bool
+
+	// barrier state
+	barWaiting int
+	barResume  []func()
+
+	// dynamic protocol state
+	dynamic   *dynamicCtl
+	roiCycles uint64
+}
+
+// Run simulates a workload under the given configuration and returns the
+// region-of-interest results.
+func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
+	if rc.MeasureOps == 0 {
+		return nil, fmt.Errorf("dve: MeasureOps must be positive")
+	}
+	if spec.Threads != rc.Cfg.TotalCores() {
+		spec.Threads = rc.Cfg.TotalCores()
+	}
+	var gen OpSource
+	if rc.Source != nil {
+		gen = rc.Source
+	} else {
+		g, err := workload.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		gen = g
+	}
+	cfg := rc.Cfg
+	// Auto-scale the dynamic protocol's sampling to the run length: the
+	// paper profiles each scheme for 100M instructions every 1B (a 1:10
+	// ratio); we sample 1/20 of the ROI per scheme each quarter-ROI epoch.
+	if cfg.SampleOps == 0 {
+		cfg.SampleOps = rc.MeasureOps / 20
+		if cfg.SampleOps == 0 {
+			cfg.SampleOps = 1
+		}
+	}
+	if cfg.EpochOps == 0 {
+		cfg.EpochOps = rc.MeasureOps / 4
+		if cfg.EpochOps == 0 {
+			cfg.EpochOps = 1
+		}
+	}
+	sys := coherence.New(&cfg)
+	sys.Classify = rc.Classify
+	sys.ReplicaMap = rc.ReplicaMap
+	if rc.FaultFn != nil {
+		for s, mc := range sys.MCs {
+			s := s
+			f := rc.FaultFn
+			mc.FaultFn = func(a topology.Addr) bool { return f(s, a) }
+		}
+	}
+	r := &runner{
+		sys:    sys,
+		gen:    gen,
+		rc:     rc,
+		cfg:    &cfg,
+		nthr:   cfg.TotalCores(),
+		budget: rc.WarmupOps + rc.MeasureOps,
+	}
+	if rc.WarmupOps == 0 {
+		r.inROI = true
+	}
+	if cfg.Replicated() {
+		mode := Allow
+		if cfg.Protocol == topology.ProtoDeny {
+			mode = Deny
+		}
+		for s := 0; s < cfg.Sockets; s++ {
+			r.rds = append(r.rds, New(sys, s, mode))
+		}
+		if cfg.Protocol == topology.ProtoDynamic {
+			r.dynamic = newDynamicCtl(r)
+		}
+	}
+
+	if rc.ScrubIntervalCyc > 0 {
+		batch := rc.ScrubBatch
+		if batch <= 0 {
+			batch = 8
+		}
+		coherence.NewScrubber(sys, sim.Cycle(rc.ScrubIntervalCyc), batch).Start()
+	}
+	for t := 0; t < r.nthr; t++ {
+		t := t
+		sys.Eng.Schedule(sim.Cycle(t), func() { r.issue(t) })
+	}
+	sys.Eng.Run()
+
+	res := &Result{
+		Workload:            spec.Name,
+		Protocol:            cfg.Protocol,
+		Cycles:              r.roiCycles,
+		Counters:            *sys.Cnt,
+		InvariantViolations: sys.CheckInvariants(),
+	}
+	res.Counters.LinkMsgs = sys.Link.Msgs
+	res.Counters.LinkBytes = sys.Link.Bytes
+	res.Counters.Cycles = r.roiCycles
+	for _, mc := range sys.MCs {
+		res.Counters.DRAMReads += mc.Reads
+		res.Counters.DRAMWrites += mc.Writes
+		res.Counters.RowHits += mc.RowHits
+		res.Counters.RowMisses += mc.RowMisses
+		res.Counters.DRAMBusyCycles += mc.BusyCycles
+	}
+	if r.dynamic != nil {
+		res.Counters.EpochsAllow = r.dynamic.epochsAllow
+		res.Counters.EpochsDeny = r.dynamic.epochsDeny
+	}
+	return res, nil
+}
+
+// issue drives one thread: compute, access, repeat.
+func (r *runner) issue(t int) {
+	if r.totalOps >= r.budget {
+		r.finishROI()
+		return
+	}
+	op := r.gen.Next(t)
+	if op.Kind == workload.Barrier {
+		r.barrier(t)
+		return
+	}
+	r.sys.Eng.Schedule(sim.Cycle(op.Compute), func() {
+		r.sys.Access(t, op.Kind == workload.Write, op.Addr, func() {
+			r.completed()
+			r.issue(t)
+		})
+	})
+}
+
+// completed advances the global op counter and ROI bookkeeping.
+func (r *runner) completed() {
+	r.totalOps++
+	r.sys.Cnt.Ops++
+	if !r.inROI && r.totalOps >= r.rc.WarmupOps {
+		r.startROI()
+	}
+	if r.dynamic != nil && r.inROI {
+		r.dynamic.tick(r.totalOps)
+	}
+}
+
+func (r *runner) startROI() {
+	r.inROI = true
+	r.roiStart = r.sys.Eng.Now()
+	// Reset the measured statistics; cache/directory state is kept warm.
+	cls := r.sys.Cnt.DRAMChannels
+	*r.sys.Cnt = stats.Counters{DRAMChannels: cls}
+	r.sys.Link.Reset()
+	for _, mc := range r.sys.MCs {
+		mc.ResetStats()
+	}
+	if r.dynamic != nil {
+		r.dynamic.start(r.totalOps)
+	}
+}
+
+func (r *runner) finishROI() {
+	if r.inROI && r.roiCycles == 0 {
+		r.roiCycles = uint64(r.sys.Eng.Now() - r.roiStart)
+	}
+}
+
+// barrier parks the thread until all threads arrive.
+func (r *runner) barrier(t int) {
+	r.barWaiting++
+	if r.barWaiting < r.nthr {
+		r.barResume = append(r.barResume, func() { r.issue(t) })
+		return
+	}
+	// Last arrival releases everyone.
+	resume := r.barResume
+	r.barResume = nil
+	r.barWaiting = 0
+	r.sys.Eng.Schedule(barrierLatency, func() {
+		for _, fn := range resume {
+			fn()
+		}
+		r.issue(t)
+	})
+}
+
+// dynamicCtl implements the sampling-based dynamic protocol (Section V-C5):
+// profile allow and deny for a sample window each, then apply the winner for
+// the remainder of the epoch.
+type dynamicCtl struct {
+	r *runner
+
+	phase      int // 0: profiling allow, 1: profiling deny, 2: applying winner
+	phaseStart uint64
+	cycleStart sim.Cycle
+
+	allowCPO float64 // measured cycles per op
+	denyCPO  float64
+
+	epochsAllow, epochsDeny uint64
+	switching               bool
+}
+
+func newDynamicCtl(r *runner) *dynamicCtl {
+	return &dynamicCtl{r: r}
+}
+
+func (d *dynamicCtl) start(ops uint64) {
+	d.phase = 0
+	d.phaseStart = ops
+	d.cycleStart = d.r.sys.Eng.Now()
+	d.setMode(Allow)
+}
+
+func (d *dynamicCtl) setMode(m Mode) {
+	if d.switching {
+		return
+	}
+	pending := 0
+	for _, rd := range d.r.rds {
+		if rd.Mode() != m {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	d.switching = true
+	for _, rd := range d.r.rds {
+		if rd.Mode() != m {
+			rd.SetMode(m, func() {
+				pending--
+				if pending == 0 {
+					d.switching = false
+				}
+			})
+		}
+	}
+}
+
+// tick advances the controller on every completed op.
+func (d *dynamicCtl) tick(ops uint64) {
+	cfg := d.r.cfg
+	elapsed := ops - d.phaseStart
+	cpo := func() float64 {
+		if elapsed == 0 {
+			return 0
+		}
+		return float64(d.r.sys.Eng.Now()-d.cycleStart) / float64(elapsed)
+	}
+	switch d.phase {
+	case 0:
+		if elapsed >= cfg.SampleOps {
+			d.allowCPO = cpo()
+			d.phase = 1
+			d.phaseStart = ops
+			d.cycleStart = d.r.sys.Eng.Now()
+			d.setMode(Deny)
+		}
+	case 1:
+		if elapsed >= cfg.SampleOps {
+			d.denyCPO = cpo()
+			d.phase = 2
+			d.phaseStart = ops
+			d.cycleStart = d.r.sys.Eng.Now()
+			if d.denyCPO <= d.allowCPO {
+				d.epochsDeny++
+				d.setMode(Deny)
+			} else {
+				d.epochsAllow++
+				d.setMode(Allow)
+			}
+		}
+	case 2:
+		if elapsed >= cfg.EpochOps {
+			d.phase = 0
+			d.phaseStart = ops
+			d.cycleStart = d.r.sys.Eng.Now()
+			d.setMode(Allow)
+		}
+	}
+}

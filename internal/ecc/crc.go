@@ -1,0 +1,37 @@
+package ecc
+
+// CRC16 implements CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), standing in
+// for the DDR4 write-CRC bus check the paper lists among Dvé's detection
+// sources (Fig 2: "bus CRC").
+type CRC16 struct {
+	table [256]uint16
+}
+
+// NewCRC16 builds the lookup table.
+func NewCRC16() *CRC16 {
+	c := &CRC16{}
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		c.table[i] = crc
+	}
+	return c
+}
+
+// Sum computes the checksum of data.
+func (c *CRC16) Sum(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ c.table[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// Check reports whether data matches the expected checksum.
+func (c *CRC16) Check(data []byte, sum uint16) bool { return c.Sum(data) == sum }

@@ -1,0 +1,288 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGF256Axioms(t *testing.T) {
+	f := NewGF256()
+	g := func(a, b, c byte) bool {
+		// Commutativity, associativity, distributivity.
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			return false
+		}
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGF256Inverse(t *testing.T) {
+	f := NewGF256()
+	for a := 1; a < 256; a++ {
+		if f.Mul(byte(a), f.Inv(byte(a))) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestGF256DivPanicsOnZero(t *testing.T) {
+	f := NewGF256()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on division by zero")
+		}
+	}()
+	f.Div(3, 0)
+}
+
+func TestGF256ExpLog(t *testing.T) {
+	f := NewGF256()
+	for n := -300; n < 600; n += 7 {
+		a := f.Exp(n)
+		if a == 0 {
+			t.Fatalf("Exp(%d) = 0", n)
+		}
+	}
+	for a := 1; a < 256; a++ {
+		if f.Exp(f.Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%d)) != %d", a, a)
+		}
+	}
+}
+
+func TestSECDEDRoundTrip(t *testing.T) {
+	var s SECDED
+	f := func(data uint64) bool {
+		lo, hi := s.Encode(data)
+		got, out := s.Decode(lo, hi)
+		return got == data && out == OK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSECDEDCorrectsAnySingleBit(t *testing.T) {
+	var s SECDED
+	data := uint64(0xDEADBEEFCAFEF00D)
+	lo, hi := s.Encode(data)
+	for p := 0; p < 73; p++ {
+		clo, chi := FlipBits(lo, hi, p)
+		got, out := s.Decode(clo, chi)
+		if out != Corrected || got != data {
+			t.Fatalf("bit %d: outcome=%v data ok=%v", p, out, got == data)
+		}
+	}
+}
+
+func TestSECDEDDetectsAnyDoubleBit(t *testing.T) {
+	var s SECDED
+	data := uint64(0x0123456789ABCDEF)
+	lo, hi := s.Encode(data)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := r.Intn(73), r.Intn(73)
+		if a == b {
+			continue
+		}
+		clo, chi := FlipBits(lo, hi, a, b)
+		if _, out := s.Decode(clo, chi); out != Detected {
+			t.Fatalf("double flip (%d,%d) outcome=%v, want Detected", a, b, out)
+		}
+	}
+}
+
+func TestRS256RoundTrip(t *testing.T) {
+	rs := NewRS256(18, 16)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, 16)
+		r.Read(data)
+		cw := rs.Encode(data)
+		if rs.Detect(cw) {
+			t.Fatal("clean codeword detected as erroneous")
+		}
+		out, res := rs.DecodeSSC(cw)
+		if res != OK {
+			t.Fatalf("clean decode outcome %v", res)
+		}
+		for j := range data {
+			if out[j] != data[j] {
+				t.Fatal("clean decode corrupted data")
+			}
+		}
+	}
+}
+
+// Chipkill property: an arbitrary corruption of one full symbol (chip) is
+// always corrected back to the original data.
+func TestRS256CorrectsAnySingleSymbol(t *testing.T) {
+	rs := NewRS256(18, 16)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		data := make([]byte, 16)
+		r.Read(data)
+		cw := rs.Encode(data)
+		pos := r.Intn(18)
+		err := byte(1 + r.Intn(255))
+		cw[pos] ^= err
+		out, res := rs.DecodeSSC(cw)
+		if res != Corrected {
+			t.Fatalf("symbol %d err %#x: outcome %v", pos, err, res)
+		}
+		for j := range data {
+			if out[j] != data[j] {
+				t.Fatalf("symbol %d: wrong correction", pos)
+			}
+		}
+	}
+}
+
+func TestRS256DetectsDoubleSymbol(t *testing.T) {
+	rs := NewRS256(18, 16)
+	r := rand.New(rand.NewSource(4))
+	detected, total := 0, 0
+	for i := 0; i < 500; i++ {
+		data := make([]byte, 16)
+		r.Read(data)
+		cw := rs.Encode(data)
+		a := r.Intn(18)
+		b := (a + 1 + r.Intn(17)) % 18
+		cw[a] ^= byte(1 + r.Intn(255))
+		cw[b] ^= byte(1 + r.Intn(255))
+		_, res := rs.DecodeSSC(cw)
+		total++
+		if res == Detected {
+			detected++
+		}
+	}
+	// With r=2 check symbols, a two-symbol error can alias to a valid
+	// single-symbol correction (miscorrection) — that is exactly the
+	// detection/correction trade the paper describes in Section II
+	// ("they trade off reduced error detection capability"). Most must
+	// still be detected.
+	if float64(detected)/float64(total) < 0.9 {
+		t.Fatalf("only %d/%d double-symbol errors detected", detected, total)
+	}
+}
+
+// Detection-only use: the same code never misses 1- or 2-symbol errors.
+func TestRS256DetectOnlyGuarantees(t *testing.T) {
+	rs := NewRS256(18, 16)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		data := make([]byte, 16)
+		r.Read(data)
+		cw := rs.Encode(data)
+		k := 1 + r.Intn(2)
+		perm := r.Perm(18)
+		for _, p := range perm[:k] {
+			cw[p] ^= byte(1 + r.Intn(255))
+		}
+		if !rs.Detect(cw) {
+			t.Fatalf("%d-symbol error not detected", k)
+		}
+	}
+}
+
+func TestRS256Panics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRS256(16, 16) },
+		func() { NewRS256(300, 16) },
+		func() { NewRS256(18, 0) },
+		func() { NewRS256(18, 16).Encode(make([]byte, 5)) },
+		func() { NewRS256(18, 16).Syndromes(make([]byte, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRS16RoundTripAndTSD(t *testing.T) {
+	rs := NewRS16(35, 32) // 64B line as 32 16-bit symbols + 3 checks
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		data := make([]uint16, 32)
+		for j := range data {
+			data[j] = uint16(r.Intn(1 << 16))
+		}
+		cw := rs.Encode(data)
+		if rs.Detect(cw) {
+			t.Fatal("clean RS16 codeword flagged")
+		}
+		// TSD guarantee: any 1..3 symbol errors detected.
+		k := 1 + r.Intn(3)
+		perm := r.Perm(35)
+		for _, p := range perm[:k] {
+			cw[p] ^= uint16(1 + r.Intn(1<<16-1))
+		}
+		if !rs.Detect(cw) {
+			t.Fatalf("TSD missed a %d-symbol error", k)
+		}
+	}
+}
+
+func TestRS16FourSymbolDetectionIsStrong(t *testing.T) {
+	rs := NewRS16(35, 32)
+	r := rand.New(rand.NewSource(7))
+	missed := 0
+	for i := 0; i < 300; i++ {
+		data := make([]uint16, 32)
+		for j := range data {
+			data[j] = uint16(r.Intn(1 << 16))
+		}
+		cw := rs.Encode(data)
+		perm := r.Perm(35)
+		for _, p := range perm[:4] {
+			cw[p] ^= uint16(1 + r.Intn(1<<16-1))
+		}
+		if !rs.Detect(cw) {
+			missed++
+		}
+	}
+	if missed > 0 {
+		// Probability ~2^-48 per trial; any miss indicates a bug.
+		t.Fatalf("TSD missed %d/300 4-symbol errors", missed)
+	}
+}
+
+func TestCRC16(t *testing.T) {
+	c := NewCRC16()
+	// Known-answer: CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := c.Sum([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC KAT = %#x, want 0x29B1", got)
+	}
+	data := []byte("the quick brown fox")
+	sum := c.Sum(data)
+	if !c.Check(data, sum) {
+		t.Fatal("Check rejects correct sum")
+	}
+	data[3] ^= 0x40
+	if c.Check(data, sum) {
+		t.Fatal("Check accepts corrupted data")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OK: "ok", Corrected: "corrected", Detected: "detected",
+		Miscorrected: "miscorrected", Outcome(9): "?",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d) = %q, want %q", o, o.String(), want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package ecc
+
+import "math/bits"
+
+// SECDED implements the (72,64) Hamming single-error-correct,
+// double-error-detect code used by conventional ECC DIMMs: 64 data bits, 7
+// Hamming check bits plus one overall parity bit.
+type SECDED struct{}
+
+// Outcome classifies a decode result.
+type Outcome int
+
+const (
+	// OK: no error detected.
+	OK Outcome = iota
+	// Corrected: a single-bit error was detected and repaired (CE).
+	Corrected
+	// Detected: an uncorrectable error was detected (DUE).
+	Detected
+	// Miscorrected: the decoder "corrected" to the wrong word — a silent
+	// data corruption when it escapes, observable only in injection
+	// experiments where the truth is known.
+	Miscorrected
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Miscorrected:
+		return "miscorrected"
+	}
+	return "?"
+}
+
+// hamming positions: we place the 64 data bits into positions 1..72 skipping
+// the power-of-two positions (1,2,4,8,16,32,64) which hold check bits;
+// position 0 holds the overall parity.
+
+// Encode returns the 72-bit codeword for a 64-bit word, packed as
+// (parity | bits 1..71 of the extended Hamming code) in a uint128 split into
+// two uint64s (hi holds bits 64..71).
+func (SECDED) Encode(data uint64) (lo, hi uint64) {
+	var cw [73]bool // cw[1..72]; cw[0] = overall parity
+	di := 0
+	for pos := 1; pos <= 72; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit
+			continue
+		}
+		cw[pos] = data&(1<<uint(di)) != 0
+		di++
+	}
+	// Check bits.
+	for p := 1; p <= 64; p <<= 1 {
+		parity := false
+		for pos := 1; pos <= 72; pos++ {
+			if pos&p != 0 && pos&(pos-1) != 0 {
+				parity = parity != cw[pos]
+			}
+		}
+		cw[p] = parity
+	}
+	// Overall parity over positions 1..72.
+	overall := false
+	for pos := 1; pos <= 72; pos++ {
+		overall = overall != cw[pos]
+	}
+	cw[0] = overall
+	return packCW(cw[:])
+}
+
+func packCW(cw []bool) (lo, hi uint64) {
+	for i := 0; i < 64; i++ {
+		if cw[i] {
+			lo |= 1 << uint(i)
+		}
+	}
+	for i := 64; i < 73; i++ {
+		if cw[i] {
+			hi |= 1 << uint(i-64)
+		}
+	}
+	return lo, hi
+}
+
+func unpackCW(lo, hi uint64) [73]bool {
+	var cw [73]bool
+	for i := 0; i < 64; i++ {
+		cw[i] = lo&(1<<uint(i)) != 0
+	}
+	for i := 64; i < 73; i++ {
+		cw[i] = hi&(1<<uint(i-64)) != 0
+	}
+	return cw
+}
+
+// Decode checks a possibly corrupted codeword and returns the decoded data
+// and the outcome. Single-bit errors are corrected; double-bit errors are
+// detected; wider errors may alias (SEC-DED's known limitation — the reason
+// stronger codes exist).
+func (s SECDED) Decode(lo, hi uint64) (data uint64, outcome Outcome) {
+	cw := unpackCW(lo, hi)
+	syndrome := 0
+	for p := 1; p <= 64; p <<= 1 {
+		parity := false
+		for pos := 1; pos <= 72; pos++ {
+			if pos&p != 0 {
+				parity = parity != cw[pos]
+			}
+		}
+		if parity {
+			syndrome |= p
+		}
+	}
+	overall := false
+	for pos := 0; pos <= 72; pos++ {
+		overall = overall != cw[pos]
+	}
+
+	switch {
+	case syndrome == 0 && !overall:
+		return s.extract(cw), OK
+	case syndrome == 0 && overall:
+		// Error in the overall parity bit itself.
+		return s.extract(cw), Corrected
+	case overall:
+		// Odd number of errors: assume single, correct it.
+		if syndrome <= 72 {
+			cw[syndrome] = !cw[syndrome]
+			return s.extract(cw), Corrected
+		}
+		return s.extract(cw), Detected
+	default:
+		// Even error count with nonzero syndrome: uncorrectable.
+		return s.extract(cw), Detected
+	}
+}
+
+func (SECDED) extract(cw [73]bool) uint64 {
+	var data uint64
+	di := 0
+	for pos := 1; pos <= 72; pos++ {
+		if pos&(pos-1) == 0 {
+			continue
+		}
+		if cw[pos] {
+			data |= 1 << uint(di)
+		}
+		di++
+	}
+	return data
+}
+
+// FlipBits XORs the given bit positions (0..72) into the packed codeword —
+// the fault-injection helper.
+func FlipBits(lo, hi uint64, positions ...int) (uint64, uint64) {
+	for _, p := range positions {
+		if p < 64 {
+			lo ^= 1 << uint(p)
+		} else {
+			hi ^= 1 << uint(p-64)
+		}
+	}
+	return lo, hi
+}
+
+// Weight returns the number of set bits in the packed codeword (test helper).
+func Weight(lo, hi uint64) int {
+	return bits.OnesCount64(lo) + bits.OnesCount64(hi)
+}

@@ -1,0 +1,106 @@
+package ecc
+
+// LogHash is an incremental multiset hash in the style of MemGuard (Chen &
+// Zhang, the paper's [13]), which Section IV lists as an alternative
+// detection source for Dvé. The memory controller maintains two running
+// hashes: WriteHash accumulates every value written to memory, ReadHash
+// every value read back. Over an epoch in which every written location is
+// eventually read back exactly once (a scrub pass guarantees this), the two
+// multisets must match; a mismatch reveals silent corruption anywhere in
+// the path — with no per-line storage at all.
+//
+// The hash must be incremental and commutative (a multiset hash): we
+// combine per-element hashes with addition mod 2^64, and use a strong
+// per-element mix so single-bit differences diffuse.
+type LogHash struct {
+	acc   uint64
+	count uint64
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add folds one (address, value) observation into the hash. Including the
+// address binds values to their locations, so swapped lines are detected.
+func (h *LogHash) Add(addr, value uint64) {
+	h.acc += mix64(mix64(addr) ^ value)
+	h.count++
+}
+
+// Remove cancels a previous Add (multiset subtraction) — used when a line
+// is overwritten before being read back, so the epoch invariant tracks the
+// *live* memory contents.
+func (h *LogHash) Remove(addr, value uint64) {
+	h.acc -= mix64(mix64(addr) ^ value)
+	h.count--
+}
+
+// Sum returns the current accumulator.
+func (h *LogHash) Sum() uint64 { return h.acc }
+
+// Count returns the number of live observations.
+func (h *LogHash) Count() uint64 { return h.count }
+
+// Equal reports whether two hashes agree on both accumulator and count.
+func (h *LogHash) Equal(o *LogHash) bool {
+	return h.acc == o.acc && h.count == o.count
+}
+
+// Reset clears the hash for a new epoch.
+func (h *LogHash) Reset() { h.acc, h.count = 0, 0 }
+
+// EpochChecker pairs a write-side and a read-side hash over one epoch: the
+// controller calls Write on every memory write (removing the previous value
+// of the location) and Read on every scrubbed read-back. At the end of the
+// epoch Check reports whether the memory image read back matches what was
+// written.
+type EpochChecker struct {
+	writes LogHash
+	reads  LogHash
+	// prev remembers each location's last written value so overwrites can
+	// be cancelled. (Real MemGuard keeps this implicitly: the overwrite
+	// read-modify-writes the line, observing the old value.)
+	prev map[uint64]uint64
+}
+
+// NewEpochChecker starts an empty epoch.
+func NewEpochChecker() *EpochChecker {
+	return &EpochChecker{prev: make(map[uint64]uint64)}
+}
+
+// Write records a memory write of value to addr.
+func (e *EpochChecker) Write(addr, value uint64) {
+	if old, ok := e.prev[addr]; ok {
+		e.writes.Remove(addr, old)
+	}
+	e.writes.Add(addr, value)
+	e.prev[addr] = value
+}
+
+// Read records a scrub read-back of value from addr.
+func (e *EpochChecker) Read(addr, value uint64) {
+	e.reads.Add(addr, value)
+}
+
+// Check reports whether the read-back multiset matches the live writes; it
+// is called after a scrub pass has read every written location once.
+func (e *EpochChecker) Check() bool {
+	return e.writes.Equal(&e.reads)
+}
+
+// Written returns the number of live (not yet scrub-verified) locations.
+func (e *EpochChecker) Written() int { return len(e.prev) }
+
+// Reset begins a new epoch.
+func (e *EpochChecker) Reset() {
+	e.writes.Reset()
+	e.reads.Reset()
+	e.prev = make(map[uint64]uint64)
+}

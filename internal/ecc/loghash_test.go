@@ -1,0 +1,149 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Multiset property: the hash is order-independent.
+func TestLogHashCommutative(t *testing.T) {
+	f := func(pairs []uint32) bool {
+		var a, b LogHash
+		for _, p := range pairs {
+			a.Add(uint64(p), uint64(p)*3)
+		}
+		// Reverse order.
+		for i := len(pairs) - 1; i >= 0; i-- {
+			b.Add(uint64(pairs[i]), uint64(pairs[i])*3)
+		}
+		return a.Equal(&b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHashRemoveCancelsAdd(t *testing.T) {
+	var h LogHash
+	h.Add(1, 100)
+	h.Add(2, 200)
+	h.Remove(1, 100)
+	var want LogHash
+	want.Add(2, 200)
+	if !h.Equal(&want) {
+		t.Fatal("Remove did not cancel Add")
+	}
+}
+
+func TestLogHashDetectsSingleBitFlip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var clean, dirty LogHash
+		n := 1 + r.Intn(50)
+		addrs := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			addrs[i], vals[i] = r.Uint64(), r.Uint64()
+			clean.Add(addrs[i], vals[i])
+		}
+		flip := r.Intn(n)
+		bit := uint64(1) << uint(r.Intn(64))
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if i == flip {
+				v ^= bit
+			}
+			dirty.Add(addrs[i], v)
+		}
+		if clean.Equal(&dirty) {
+			t.Fatalf("trial %d: single-bit flip not detected", trial)
+		}
+	}
+}
+
+func TestLogHashDetectsSwappedLines(t *testing.T) {
+	var a, b LogHash
+	a.Add(0x1000, 7)
+	a.Add(0x2000, 9)
+	// Same values at swapped addresses.
+	b.Add(0x1000, 9)
+	b.Add(0x2000, 7)
+	if a.Equal(&b) {
+		t.Fatal("swapped lines not detected (address not bound)")
+	}
+}
+
+func TestEpochCheckerCleanPass(t *testing.T) {
+	e := NewEpochChecker()
+	mem := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := uint64(r.Intn(256)) * 64 // overwrites are common
+		v := r.Uint64()
+		mem[a] = v
+		e.Write(a, v)
+	}
+	if e.Written() != len(mem) {
+		t.Fatalf("Written = %d, want %d", e.Written(), len(mem))
+	}
+	// Scrub pass reads every live location back.
+	for a, v := range mem {
+		e.Read(a, v)
+	}
+	if !e.Check() {
+		t.Fatal("clean epoch failed the check")
+	}
+}
+
+func TestEpochCheckerDetectsCorruption(t *testing.T) {
+	e := NewEpochChecker()
+	mem := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a := uint64(r.Intn(128)) * 64
+		v := r.Uint64()
+		mem[a] = v
+		e.Write(a, v)
+	}
+	first := true
+	for a, v := range mem {
+		if first {
+			v ^= 1 << 17 // one corrupted read-back
+			first = false
+		}
+		e.Read(a, v)
+	}
+	if e.Check() {
+		t.Fatal("corrupted epoch passed the check")
+	}
+}
+
+func TestEpochCheckerReset(t *testing.T) {
+	e := NewEpochChecker()
+	e.Write(64, 1)
+	e.Reset()
+	if e.Written() != 0 {
+		t.Fatal("Reset left live writes")
+	}
+	if !e.Check() {
+		t.Fatal("empty epoch must pass")
+	}
+}
+
+func TestLogHashCountTracksLiveEntries(t *testing.T) {
+	var h LogHash
+	h.Add(1, 1)
+	h.Add(2, 2)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	h.Remove(1, 1)
+	if h.Count() != 1 {
+		t.Fatalf("Count after remove = %d", h.Count())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

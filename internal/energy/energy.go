@@ -1,0 +1,132 @@
+// Package energy implements a DDR4 current-based (IDD) DRAM energy model in
+// the style of the Micron power calculator the paper uses, and the EDP
+// (energy-delay product) accounting of Section VII: memory-EDP from DRAM
+// event counts, and system-EDP using the paper's assumption that memory is
+// about 18% of total system power in a 2-socket NUMA server.
+package energy
+
+// Params are per-device DDR4 electrical and timing parameters.
+// Defaults correspond to an 8Gb DDR4-2400 x8 device.
+type Params struct {
+	VDD float64 // volts
+
+	// Currents in mA.
+	IDD0  float64 // one-bank activate-precharge
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5B float64 // burst refresh
+	IDD6  float64 // self-refresh (idle provisioned capacity)
+
+	// Timings in ns.
+	TRCns    float64 // activate-to-activate (row cycle)
+	TBurstNs float64 // data burst duration (BL8 at 2400 MT/s)
+	TRFCns   float64 // refresh cycle time
+	TREFIns  float64 // average refresh interval
+
+	DevicesPerRank int
+}
+
+// DDR4 returns representative 8Gb DDR4-2400 x8 datasheet values.
+func DDR4() Params {
+	return Params{
+		VDD:            1.2,
+		IDD0:           55,
+		IDD2N:          34,
+		IDD3N:          44,
+		IDD4R:          140,
+		IDD4W:          130,
+		IDD5B:          190,
+		IDD6:           30,
+		TRCns:          46.16,
+		TBurstNs:       3.33,
+		TRFCns:         350,
+		TREFIns:        7800,
+		DevicesPerRank: 8,
+	}
+}
+
+// Breakdown is the energy split of one run, in nanojoules.
+type Breakdown struct {
+	ActivateNJ    float64
+	ReadNJ        float64
+	WriteNJ       float64
+	BackgroundNJ  float64
+	RefreshNJ     float64
+	SelfRefreshNJ float64 // idle provisioned capacity parked in self-refresh
+}
+
+// Total returns the summed energy in nJ.
+func (b Breakdown) Total() float64 {
+	return b.ActivateNJ + b.ReadNJ + b.WriteNJ + b.BackgroundNJ + b.RefreshNJ +
+		b.SelfRefreshNJ
+}
+
+// Activity summarises one run's DRAM behaviour (accumulated by the
+// simulator's stats counters).
+type Activity struct {
+	Activates uint64 // row misses/conflicts (each implies ACT+PRE)
+	Reads     uint64 // CAS read bursts
+	Writes    uint64 // CAS write bursts
+	// Channels actively used, and provisioned-but-idle channels parked in
+	// self-refresh. The paper notes idle memory "still uses energy for
+	// refresh, even in a low power (self-refresh) state" — when Dvé turns
+	// that idle capacity into replicas, the fair baseline comparison charges
+	// the baseline for the same DIMMs at IDD6.
+	Channels     int
+	IdleChannels int
+	Cycles       uint64
+	ClockGHz     float64
+}
+
+// Energy evaluates the model: per-event dynamic energy plus background and
+// refresh power integrated over the run for every provisioned channel —
+// which is how replication's standing cost appears even when idle, as the
+// paper notes for memory-EDP.
+func (p Params) Energy(a Activity) Breakdown {
+	ns := float64(a.Cycles) / a.ClockGHz // run length in ns
+	dev := float64(p.DevicesPerRank)
+	mWtoNJ := func(mA, durNs float64) float64 {
+		// mA * V * ns = pJ; /1000 = nJ.
+		return mA * p.VDD * durNs / 1000
+	}
+	b := Breakdown{
+		ActivateNJ: float64(a.Activates) * mWtoNJ(p.IDD0-p.IDD3N, p.TRCns) * dev,
+		ReadNJ:     float64(a.Reads) * mWtoNJ(p.IDD4R-p.IDD3N, p.TBurstNs) * dev,
+		WriteNJ:    float64(a.Writes) * mWtoNJ(p.IDD4W-p.IDD3N, p.TBurstNs) * dev,
+	}
+	// Background: active standby for every device of every channel.
+	b.BackgroundNJ = mWtoNJ(p.IDD3N, ns) * dev * float64(a.Channels)
+	// Refresh: one tRFC burst every tREFI per rank.
+	refreshes := ns / p.TREFIns
+	b.RefreshNJ = refreshes * mWtoNJ(p.IDD5B-p.IDD3N, p.TRFCns) * dev * float64(a.Channels)
+	// Idle provisioned channels sit in self-refresh.
+	b.SelfRefreshNJ = mWtoNJ(p.IDD6, ns) * dev * float64(a.IdleChannels)
+	return b
+}
+
+// MemoryEDP returns the memory energy-delay product in nJ*s.
+func MemoryEDP(b Breakdown, cycles uint64, clockGHz float64) float64 {
+	seconds := float64(cycles) / (clockGHz * 1e9)
+	return b.Total() * seconds
+}
+
+// MemoryPowerShare is the paper's assumption: memory is ~18% of total system
+// power in a 2-socket NUMA system (Barroso et al.).
+const MemoryPowerShare = 0.18
+
+// SystemEDP derives system energy-delay products for a baseline run and a
+// candidate run: the non-memory subsystem is assumed to draw constant power,
+// calibrated so memory is MemoryPowerShare of the *baseline* system power.
+// Shorter execution then reduces system-EDP even when memory energy rises —
+// the paper's Section VII result.
+func SystemEDP(baseMem Breakdown, baseCycles uint64, candMem Breakdown, candCycles uint64, clockGHz float64) (baseEDP, candEDP float64) {
+	baseSec := float64(baseCycles) / (clockGHz * 1e9)
+	candSec := float64(candCycles) / (clockGHz * 1e9)
+	memPowerBase := baseMem.Total() / baseSec // nW... nJ/s
+	otherPower := memPowerBase * (1 - MemoryPowerShare) / MemoryPowerShare
+	baseSys := baseMem.Total() + otherPower*baseSec
+	candSys := candMem.Total() + otherPower*candSec
+	return baseSys * baseSec, candSys * candSec
+}

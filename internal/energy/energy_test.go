@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func act(n uint64, ch int, cycles uint64) Activity {
+	return Activity{
+		Activates: n, Reads: n, Writes: n / 4,
+		Channels: ch, Cycles: cycles, ClockGHz: 3.0,
+	}
+}
+
+func TestEnergyPositiveAndAdditive(t *testing.T) {
+	p := DDR4()
+	b := p.Energy(act(1000, 2, 1_000_000))
+	for name, v := range map[string]float64{
+		"activate": b.ActivateNJ, "read": b.ReadNJ, "write": b.WriteNJ,
+		"background": b.BackgroundNJ, "refresh": b.RefreshNJ,
+	} {
+		if v <= 0 {
+			t.Errorf("%s energy = %v, want > 0", name, v)
+		}
+	}
+	if math.Abs(b.Total()-(b.ActivateNJ+b.ReadNJ+b.WriteNJ+b.BackgroundNJ+b.RefreshNJ)) > 1e-9 {
+		t.Fatal("Total != sum of parts")
+	}
+}
+
+func TestMoreChannelsMoreBackground(t *testing.T) {
+	p := DDR4()
+	b1 := p.Energy(act(1000, 2, 1_000_000))
+	b2 := p.Energy(act(1000, 4, 1_000_000))
+	if b2.BackgroundNJ <= b1.BackgroundNJ || b2.RefreshNJ <= b1.RefreshNJ {
+		t.Fatal("doubling channels must raise standing energy")
+	}
+	if b2.ActivateNJ != b1.ActivateNJ {
+		t.Fatal("dynamic energy must depend on events, not channels")
+	}
+}
+
+func TestDynamicEnergyScalesWithEvents(t *testing.T) {
+	p := DDR4()
+	b1 := p.Energy(act(1000, 2, 1_000_000))
+	b2 := p.Energy(act(2000, 2, 1_000_000))
+	if math.Abs(b2.ActivateNJ/b1.ActivateNJ-2) > 1e-9 {
+		t.Fatal("activate energy not linear in activates")
+	}
+}
+
+func TestMemoryEDP(t *testing.T) {
+	p := DDR4()
+	b := p.Energy(act(1000, 2, 3_000_000_000)) // 1 s at 3 GHz
+	edp := MemoryEDP(b, 3_000_000_000, 3.0)
+	if math.Abs(edp-b.Total()) > 1e-6*b.Total() {
+		t.Fatalf("EDP over 1s = %v, want energy %v", edp, b.Total())
+	}
+}
+
+// The paper's Section VII shape: replication raises memory-EDP (double the
+// provisioned channels) but lowers system-EDP when execution is shorter.
+func TestSystemEDPShape(t *testing.T) {
+	p := DDR4()
+	baseCycles := uint64(1_000_000_000)
+	dveCycles := uint64(850_000_000) // ~18% faster, like the dynamic scheme
+	base := p.Energy(act(5_000_000, 2, baseCycles))
+	dve := p.Energy(act(5_000_000, 4, dveCycles))
+
+	memBase := MemoryEDP(base, baseCycles, 3.0)
+	memDve := MemoryEDP(dve, dveCycles, 3.0)
+	if memDve <= memBase*0.9 {
+		t.Logf("memory EDP base %.3g dve %.3g", memBase, memDve)
+	}
+
+	sysBase, sysDve := SystemEDP(base, baseCycles, dve, dveCycles, 3.0)
+	if sysDve >= sysBase {
+		t.Fatalf("system EDP did not improve: base %.3g dve %.3g", sysBase, sysDve)
+	}
+}
+
+func TestSystemEDPEqualRunsEqualEnergy(t *testing.T) {
+	p := DDR4()
+	b := p.Energy(act(1000, 2, 1_000_000))
+	s1, s2 := SystemEDP(b, 1_000_000, b, 1_000_000, 3.0)
+	if math.Abs(s1-s2) > 1e-9*s1 {
+		t.Fatal("identical runs must have identical system EDP")
+	}
+}
+
+func TestSelfRefreshCharging(t *testing.T) {
+	p := DDR4()
+	active := p.Energy(Activity{Activates: 1000, Reads: 1000, Channels: 4,
+		Cycles: 1_000_000, ClockGHz: 3.0})
+	parked := p.Energy(Activity{Activates: 1000, Reads: 1000, Channels: 2,
+		IdleChannels: 2, Cycles: 1_000_000, ClockGHz: 3.0})
+	if parked.SelfRefreshNJ <= 0 {
+		t.Fatal("idle channels drew no self-refresh energy")
+	}
+	// Self-refresh must be much cheaper than active standby for the same
+	// capacity — that is the whole point of parking idle DIMMs.
+	if parked.Total() >= active.Total() {
+		t.Fatalf("parked config (%.1f nJ) not cheaper than all-active (%.1f nJ)",
+			parked.Total(), active.Total())
+	}
+	if active.SelfRefreshNJ != 0 {
+		t.Fatal("fully active config charged for self-refresh")
+	}
+}

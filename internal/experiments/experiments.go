@@ -1,0 +1,255 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table I (reliability), Fig 1 (design points), Fig 6 (speedup),
+// Fig 7 (sharing classes), Fig 8 (inter-socket traffic), Fig 9 (allow-
+// protocol optimizations), Fig 10 (link-latency sensitivity), and the
+// Section VII energy study. cmd/dvebench and the repository's benchmarks
+// are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dve/internal/dve"
+	"dve/internal/energy"
+	"dve/internal/stats"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+// Scale sets how many operations each simulation runs. Results stabilise
+// with size; Quick is meant for tests and benchmarks.
+type Scale struct {
+	WarmupOps  uint64
+	MeasureOps uint64
+}
+
+// Predefined scales.
+var (
+	Quick    = Scale{WarmupOps: 50_000, MeasureOps: 120_000}
+	Standard = Scale{WarmupOps: 150_000, MeasureOps: 350_000}
+	Full     = Scale{WarmupOps: 400_000, MeasureOps: 1_200_000}
+)
+
+// Runner executes simulation matrices.
+type Runner struct {
+	Scale Scale
+	// Parallelism bounds concurrent simulations (each is single-threaded
+	// and deterministic). 0 means 8.
+	Parallelism int
+	// Workloads restricts the benchmark set (nil = the full Table III
+	// suite).
+	Workloads []string
+}
+
+func (r Runner) parallelism() int {
+	if r.Parallelism <= 0 {
+		return 8
+	}
+	return r.Parallelism
+}
+
+func (r Runner) suite() []workload.Spec {
+	all := Suite()
+	if r.Workloads == nil {
+		return all
+	}
+	var out []workload.Spec
+	for _, name := range r.Workloads {
+		if s, ok := workload.ByName(name, 16); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Suite returns the full Table III benchmark set used by the experiments.
+func Suite() []workload.Spec { return workload.Suite(16) }
+
+// runOne simulates one workload under one configuration.
+func (r Runner) runOne(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, error) {
+	return dve.Run(spec, dve.RunConfig{
+		Cfg:        cfg,
+		WarmupOps:  r.Scale.WarmupOps,
+		MeasureOps: r.Scale.MeasureOps,
+		Classify:   classify,
+	})
+}
+
+// cell identifies one simulation of a matrix.
+type cell struct {
+	spec     workload.Spec
+	variant  string
+	cfg      topology.Config
+	classify bool
+}
+
+// runMatrix executes all cells with bounded parallelism and returns results
+// keyed by (workload, variant).
+func (r Runner) runMatrix(cells []cell) (map[string]*dve.Result, error) {
+	out := make(map[string]*dve.Result, len(cells))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, r.parallelism())
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := r.runOne(c.spec, c.cfg, c.classify)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", c.spec.Name, c.variant, err)
+				}
+				return
+			}
+			out[c.spec.Name+"/"+c.variant] = res
+		}()
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// Row is one benchmark's results across scheme variants.
+type Row struct {
+	Name    string
+	MPKI    float64 // baseline LLC misses per kilo-op (the paper's ordering)
+	Speedup map[string]float64
+	Traffic map[string]float64 // link bytes normalised to baseline
+	Mix     [4]float64         // Fig 7 classes from the baseline run
+
+	// Energy-delay products normalised to baseline. MemEDP follows the
+	// paper's accounting (the baseline is not charged for the idle DIMMs);
+	// MemEDPIdle charges the baseline's idle provisioned capacity at IDD6
+	// self-refresh — the paper's "even lower when using idle memory" note.
+	MemEDP     map[string]float64
+	MemEDPIdle map[string]float64
+	SysEDP     map[string]float64
+
+	results map[string]*dve.Result
+}
+
+// Result of a performance matrix (Fig 6/7/8/energy share one matrix).
+type PerfResult struct {
+	Rows    []Row // sorted by descending MPKI
+	Schemes []string
+}
+
+// Geomean returns the scheme's geometric-mean speedup over the top-n rows.
+func (p *PerfResult) Geomean(scheme string, n int) float64 {
+	if n > len(p.Rows) {
+		n = len(p.Rows)
+	}
+	vals := make([]float64, 0, n)
+	for _, r := range p.Rows[:n] {
+		vals = append(vals, r.Speedup[scheme])
+	}
+	return stats.Geomean(vals)
+}
+
+// GeomeanEDP returns geometric means of the normalised memory and system
+// EDPs for a scheme over all rows.
+func (p *PerfResult) GeomeanEDP(scheme string) (mem, sys float64) {
+	var ms, ss []float64
+	for _, r := range p.Rows {
+		ms = append(ms, r.MemEDP[scheme])
+		ss = append(ss, r.SysEDP[scheme])
+	}
+	return stats.Geomean(ms), stats.Geomean(ss)
+}
+
+// Perf runs the Fig 6 matrix: every benchmark under baseline, allow, deny,
+// dynamic, and Intel-mirroring++. The same results carry Fig 7 (classes),
+// Fig 8 (traffic) and the energy study.
+func (r Runner) Perf() (*PerfResult, error) {
+	protos := []topology.Protocol{
+		topology.ProtoBaseline, topology.ProtoAllow, topology.ProtoDeny,
+		topology.ProtoDynamic, topology.ProtoIntelMirror,
+	}
+	var cells []cell
+	for _, spec := range r.suite() {
+		for _, p := range protos {
+			cells = append(cells, cell{
+				spec: spec, variant: p.String(),
+				cfg:      topology.Default(p),
+				classify: p == topology.ProtoBaseline,
+			})
+		}
+	}
+	results, err := r.runMatrix(cells)
+	if err != nil {
+		return nil, err
+	}
+	pr := &PerfResult{Schemes: []string{"allow", "deny", "dynamic", "intel-mirror++"}}
+	params := energy.DDR4()
+	for _, spec := range r.suite() {
+		base := results[spec.Name+"/baseline"]
+		row := Row{
+			Name: spec.Name, MPKI: base.Counters.MPKI(),
+			Speedup: map[string]float64{}, Traffic: map[string]float64{},
+			MemEDP: map[string]float64{}, MemEDPIdle: map[string]float64{},
+			SysEDP:  map[string]float64{},
+			Mix:     base.Counters.SharingMix(),
+			results: map[string]*dve.Result{"baseline": base},
+		}
+		baseE := params.Energy(activity(base, false))
+		baseEIdle := params.Energy(activity(base, true))
+		baseMemEDP := energy.MemoryEDP(baseE, base.Cycles, 3.0)
+		baseMemEDPIdle := energy.MemoryEDP(baseEIdle, base.Cycles, 3.0)
+		for _, p := range protos[1:] {
+			res := results[spec.Name+"/"+p.String()]
+			row.results[p.String()] = res
+			row.Speedup[p.String()] = stats.Speedup(base.Cycles, res.Cycles)
+			row.Traffic[p.String()] = ratio(res.Counters.LinkBytes, base.Counters.LinkBytes)
+			e := params.Energy(activity(res, false))
+			eIdle := params.Energy(activity(res, true))
+			row.MemEDP[p.String()] = energy.MemoryEDP(e, res.Cycles, 3.0) / baseMemEDP
+			row.MemEDPIdle[p.String()] = energy.MemoryEDP(eIdle, res.Cycles, 3.0) / baseMemEDPIdle
+			sb, sc := energy.SystemEDP(baseE, base.Cycles, e, res.Cycles, 3.0)
+			row.SysEDP[p.String()] = sc / sb
+		}
+		pr.Rows = append(pr.Rows, row)
+	}
+	sort.SliceStable(pr.Rows, func(i, j int) bool { return pr.Rows[i].MPKI > pr.Rows[j].MPKI })
+	return pr, nil
+}
+
+// provisionedChannels is the machine's physical channel count (the
+// replicated configuration's): the same DIMMs exist whether or not Dvé uses
+// them; with chargeIdle the unused difference is billed at IDD6
+// self-refresh (the paper's "idle memory still uses energy for refresh"
+// note), otherwise the paper's default accounting ignores it.
+const provisionedChannels = 4
+
+func activity(res *dve.Result, chargeIdle bool) energy.Activity {
+	c := &res.Counters
+	idle := 0
+	if chargeIdle {
+		idle = provisionedChannels - c.DRAMChannels
+		if idle < 0 {
+			idle = 0
+		}
+	}
+	return energy.Activity{
+		Activates:    c.RowMisses,
+		Reads:        c.DRAMReads,
+		Writes:       c.DRAMWrites,
+		Channels:     c.DRAMChannels,
+		IdleChannels: idle,
+		Cycles:       res.Cycles,
+		ClockGHz:     3.0,
+	}
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

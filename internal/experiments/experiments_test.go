@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dve/internal/workload"
+)
+
+// subset keeps test runtime modest: two deny-winners, two allow-winners.
+var subset = []string{"xsbench", "fft", "lbm", "lu"}
+
+func testRunner() Runner {
+	return Runner{Scale: Quick, Parallelism: 8, Workloads: subset}
+}
+
+func TestPerfShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix")
+	}
+	perf, err := testRunner().Perf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Rows) != len(subset) {
+		t.Fatalf("%d rows, want %d", len(perf.Rows), len(subset))
+	}
+	for _, r := range perf.Rows {
+		// Every benchmark, every scheme: >= baseline (the paper's "all
+		// benchmarks for all schemes perform equal to or better").
+		for s, v := range r.Speedup {
+			if v < 0.99 {
+				t.Errorf("%s/%s speedup %.3f below baseline", r.Name, s, v)
+			}
+		}
+		// Protocol winner matches the paper's Fig 6 split.
+		denyWins := r.Speedup["deny"] > r.Speedup["allow"]
+		if workload.DenyWinners[r.Name] != denyWins {
+			t.Errorf("%s: deny wins=%v, paper says %v", r.Name, denyWins, workload.DenyWinners[r.Name])
+		}
+		// Dvé reduces inter-socket traffic (Fig 8).
+		for _, s := range []string{"allow", "deny"} {
+			if r.Traffic[s] >= 1 {
+				t.Errorf("%s/%s traffic ratio %.3f not reduced", r.Name, s, r.Traffic[s])
+			}
+		}
+		// Dynamic tracks within a few percent of the better static scheme.
+		best := r.Speedup["allow"]
+		if r.Speedup["deny"] > best {
+			best = r.Speedup["deny"]
+		}
+		if r.Speedup["dynamic"] < 0.93*best {
+			t.Errorf("%s: dynamic %.3f far below best static %.3f", r.Name, r.Speedup["dynamic"], best)
+		}
+	}
+	// MPKI ordering is descending.
+	for i := 1; i < len(perf.Rows); i++ {
+		if perf.Rows[i].MPKI > perf.Rows[i-1].MPKI {
+			t.Fatal("rows not sorted by descending MPKI")
+		}
+	}
+	// Dvé beats the Intel-mirroring++ baseline on geomean (Section VII).
+	n := len(perf.Rows)
+	if perf.Geomean("deny", n) <= perf.Geomean("intel-mirror++", n) {
+		t.Error("deny does not beat Intel-mirroring++")
+	}
+	// Energy shape: system-EDP improves for the replication schemes.
+	_, sys := perf.GeomeanEDP("deny")
+	if sys >= 1 {
+		t.Errorf("deny system-EDP %.3f did not improve", sys)
+	}
+
+	// Formatting smoke tests over real data.
+	for _, out := range []string{
+		FormatFig6(perf), FormatFig7(perf), FormatFig8(perf), FormatEnergy(perf),
+	} {
+		if len(out) == 0 {
+			t.Fatal("empty formatted output")
+		}
+	}
+	if !strings.Contains(FormatFig6(perf), "geomean") {
+		t.Error("Fig 6 output missing geomeans")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix")
+	}
+	r := Runner{Scale: Quick, Parallelism: 8, Workloads: []string{"fft", "lbm"}}
+	f9, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f9.Rows {
+		// The oracle is the ceiling for every allow variant.
+		for _, v := range Fig9Variants[:3] {
+			if row.Speedup[v] > row.Speedup["allow-oracle"]+0.02 {
+				t.Errorf("%s: %s (%.3f) exceeds the oracle (%.3f)",
+					row.Name, v, row.Speedup[v], row.Speedup["allow-oracle"])
+			}
+		}
+		// A larger replica directory never hurts.
+		if row.Speedup["allow-4k"] < row.Speedup["allow-2k"]-0.01 {
+			t.Errorf("%s: 4K entries (%.3f) worse than 2K (%.3f)",
+				row.Name, row.Speedup["allow-4k"], row.Speedup["allow-2k"])
+		}
+	}
+	if !strings.Contains(FormatFig9(f9), "allow-oracle") {
+		t.Error("Fig 9 output missing variants")
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix")
+	}
+	r := Runner{Scale: Quick, Parallelism: 8, Workloads: []string{"xsbench", "bfs"}}
+	f10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deny's benefit grows with link latency and stays positive at 30ns.
+	if f10.All[30]["deny"] <= 1.0 {
+		t.Errorf("deny at 30ns = %.3f, want > 1 (paper: +10%% overall)", f10.All[30]["deny"])
+	}
+	if f10.All[60]["deny"] <= f10.All[30]["deny"] {
+		t.Errorf("deny benefit does not grow with latency: 30ns %.3f vs 60ns %.3f",
+			f10.All[30]["deny"], f10.All[60]["deny"])
+	}
+	if !strings.Contains(FormatFig10(f10), "30ns") {
+		t.Error("Fig 10 output missing latencies")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Chipkill", "Dve+TSD", "IBM RAIM", "Dve+Chipkill", "miss rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	out := Fig1()
+	for _, want := range []string{"SEC-DED", "Chipkill", "Dvé", "43.8%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyOutput(t *testing.T) {
+	out := Verify()
+	if strings.Count(out, "VERIFIED") != 2 {
+		t.Errorf("expected both protocols verified:\n%s", out)
+	}
+}
+
+func TestSuiteComplete(t *testing.T) {
+	if len(Suite()) != 20 {
+		t.Fatalf("suite has %d workloads, want 20", len(Suite()))
+	}
+}
+
+func TestRunnerUnknownWorkloadIgnored(t *testing.T) {
+	r := Runner{Scale: Quick, Workloads: []string{"nosuch"}}
+	if len(r.suite()) != 0 {
+		t.Fatal("unknown workload not filtered")
+	}
+}
+
+func TestFaultCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix")
+	}
+	r := Runner{Scale: Quick, Parallelism: 8}
+	results, err := r.FaultCampaign("graph500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]FaultResult{}
+	for _, res := range results {
+		byKey[res.Scenario+"/"+res.Protocol] = res
+	}
+	for _, sc := range Scenarios() {
+		base := byKey[sc.Name+"/baseline"]
+		dve := byKey[sc.Name+"/deny"]
+		// Dvé recovers everything single-sided; the baseline takes DUEs for
+		// every fault the local code cannot correct.
+		if dve.DUEs != 0 {
+			t.Errorf("%s: Dvé took %d DUEs", sc.Name, dve.DUEs)
+		}
+		if base.DUEs == 0 {
+			t.Errorf("%s: baseline took no DUEs despite an uncorrectable fault", sc.Name)
+		}
+		if dve.Recoveries == 0 {
+			t.Errorf("%s: Dvé never recovered", sc.Name)
+		}
+	}
+	// Section V-E: even with a whole controller failed (every home read on
+	// socket 0 served by the replica), the degraded Dvé system retains
+	// performance comparable to the fault-free baseline.
+	ctl := byKey["controller/deny"]
+	if ctl.RelPerf < 0.80 {
+		t.Errorf("degraded Dvé retains only %.2fx of fault-free baseline (want >= 0.80)", ctl.RelPerf)
+	}
+	if out := FormatFaultCampaign(results); !strings.Contains(out, "controller") {
+		t.Error("campaign output incomplete")
+	}
+}
+
+func TestFaultCampaignUnknownWorkload(t *testing.T) {
+	r := Runner{Scale: Quick}
+	if _, err := r.FaultCampaign("nosuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package fault models DRAM subsystem failures at every level of the Fig 2
+// hierarchy — cell, row, column, bank, chip, DIMM, channel, and memory
+// controller — and determines whether a read of a given address fails its
+// local ECC check under a configured local code. The resulting predicate
+// plugs into the memory controllers (mem.Controller.FaultFn), which is how
+// injected faults surface in the simulator and exercise Dvé's replica
+// recovery path.
+package fault
+
+import (
+	"fmt"
+
+	"dve/internal/topology"
+)
+
+// Kind is the failure granularity.
+type Kind int
+
+const (
+	Cell Kind = iota
+	Row
+	Column
+	Bank
+	Chip
+	DIMM
+	Channel
+	Controller
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Cell:
+		return "cell"
+	case Row:
+		return "row"
+	case Column:
+		return "column"
+	case Bank:
+		return "bank"
+	case Chip:
+		return "chip"
+	case DIMM:
+		return "dimm"
+	case Channel:
+		return "channel"
+	case Controller:
+		return "controller"
+	}
+	return "?"
+}
+
+// LocalCode is the per-controller detection/correction capability.
+type LocalCode int
+
+const (
+	// CodeNone: no protection; any fault is silent (never reported as a
+	// failed read — it would be an SDC).
+	CodeNone LocalCode = iota
+	// CodeSECDED corrects single-bit (cell) errors, detects double-bit.
+	CodeSECDED
+	// CodeChipkill corrects any single-chip error per rank.
+	CodeChipkill
+	// CodeDSD detects (but cannot correct) up to double-symbol errors —
+	// Dvé's baseline-equivalent detection configuration.
+	CodeDSD
+	// CodeTSD detects up to triple-symbol errors — Dvé's strengthened
+	// detection configuration.
+	CodeTSD
+)
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind   Kind
+	Socket int
+	// Channel/Bank/Row/Chip narrow the blast radius for the finer kinds;
+	// fields beyond the Kind's granularity are ignored.
+	Channel int
+	Bank    int
+	Row     uint64
+	Chip    int
+	// Addr is used by Cell/Column faults (the column is Addr's line).
+	Addr topology.Addr
+	// Transient faults disappear after the first repair write.
+	Transient bool
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@socket%d(ch%d,bank%d,row%d,chip%d)",
+		f.Kind, f.Socket, f.Channel, f.Bank, f.Row, f.Chip)
+}
+
+// Set is a collection of active faults over one machine.
+type Set struct {
+	amap   *topology.AddrMap
+	code   LocalCode
+	faults []Fault
+}
+
+// NewSet creates an empty fault set judging reads with the given local code.
+func NewSet(cfg *topology.Config, code LocalCode) *Set {
+	return &Set{amap: topology.NewAddrMap(cfg), code: code}
+}
+
+// Inject adds a fault.
+func (s *Set) Inject(f Fault) { s.faults = append(s.faults, f) }
+
+// Active returns the current number of faults.
+func (s *Set) Active() int { return len(s.faults) }
+
+// Repair removes transient faults covering the address (models the
+// write-then-reread repair of Section V-B2); hard faults stay.
+func (s *Set) Repair(socket int, a topology.Addr) {
+	kept := s.faults[:0]
+	for _, f := range s.faults {
+		if f.Transient && s.covers(f, socket, a) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	s.faults = kept
+}
+
+// covers reports whether fault f affects the address on the socket.
+func (s *Set) covers(f Fault, socket int, a topology.Addr) bool {
+	if f.Socket != socket {
+		return false
+	}
+	co := s.amap.Decode(a)
+	switch f.Kind {
+	case Controller:
+		return true
+	case Channel:
+		return f.Channel == co.Channel
+	case DIMM:
+		return f.Channel == co.Channel // one DIMM per channel in Table II
+	case Bank:
+		return f.Channel == co.Channel && f.Bank == co.Bank
+	case Row:
+		return f.Channel == co.Channel && f.Bank == co.Bank && f.Row == co.Row
+	case Chip:
+		// A chip holds a fixed slice of every line in its rank; every line
+		// of the channel is touched by the chip.
+		return f.Channel == co.Channel
+	case Cell, Column:
+		return s.amap.LineOf(f.Addr) == s.amap.LineOf(a)
+	}
+	return false
+}
+
+// chipFaultsOn counts distinct failed chips covering the address's channel.
+func (s *Set) chipFaultsOn(socket, channel int) int {
+	chips := map[int]bool{}
+	for _, f := range s.faults {
+		if f.Kind == Chip && f.Socket == socket && f.Channel == channel {
+			chips[f.Chip] = true
+		}
+	}
+	return len(chips)
+}
+
+// ReadFails reports whether a read of the address fails the local ECC check
+// — i.e. the local code detects an error it cannot correct, requiring
+// recovery from the replica. (Errors the local code corrects silently, and
+// faults invisible to CodeNone, return false.)
+func (s *Set) ReadFails(socket int, a topology.Addr) bool {
+	var covering []Fault
+	for _, f := range s.faults {
+		if s.covers(f, socket, a) {
+			covering = append(covering, f)
+		}
+	}
+	if len(covering) == 0 {
+		return false
+	}
+	switch s.code {
+	case CodeNone:
+		// Nothing is ever *detected* — corruption is silent.
+		return false
+	case CodeSECDED:
+		// Only a single cell fault is correctable.
+		if len(covering) == 1 && covering[0].Kind == Cell {
+			return false
+		}
+		return true
+	case CodeChipkill:
+		// One failed chip per rank is correctable; so is a single cell,
+		// row, column or bank fault (all within one chip's blast radius or
+		// a single symbol per word).
+		if len(covering) == 1 {
+			switch covering[0].Kind {
+			case Cell, Column, Row, Bank, Chip:
+				co := s.amap.Decode(a)
+				return s.chipFaultsOn(socket, co.Channel) > 1
+			}
+		}
+		return true
+	case CodeDSD, CodeTSD:
+		// Detection-only: everything detected is uncorrectable locally —
+		// by design, since Dvé corrects from the replica.
+		return true
+	}
+	return true
+}
+
+// Predicate returns a closure suitable for mem.Controller.FaultFn.
+func (s *Set) Predicate() func(socket int, a topology.Addr) bool {
+	return s.ReadFails
+}

@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"testing"
+
+	"dve/internal/topology"
+)
+
+func newSet(code LocalCode) (*Set, *topology.Config) {
+	cfg := topology.Default(topology.ProtoDeny)
+	return NewSet(&cfg, code), &cfg
+}
+
+func TestControllerFaultCoversWholeSocket(t *testing.T) {
+	s, _ := newSet(CodeTSD)
+	s.Inject(Fault{Kind: Controller, Socket: 0})
+	if !s.ReadFails(0, 0) || !s.ReadFails(0, 1<<30) {
+		t.Fatal("controller fault must cover every address of its socket")
+	}
+	if s.ReadFails(1, 0) {
+		t.Fatal("controller fault leaked to the other socket")
+	}
+}
+
+func TestChannelFaultScoped(t *testing.T) {
+	s, cfg := newSet(CodeTSD)
+	s.Inject(Fault{Kind: Channel, Socket: 0, Channel: 0})
+	amap := topology.NewAddrMap(cfg)
+	var hit0, hit1 bool
+	for a := topology.Addr(0); a < topology.Addr(1<<16); a += 64 {
+		co := amap.Decode(a)
+		fails := s.ReadFails(0, a)
+		if co.Channel == 0 {
+			hit0 = hit0 || fails
+			if !fails {
+				t.Fatalf("address %#x on failed channel did not fail", a)
+			}
+		} else {
+			hit1 = hit1 || fails
+		}
+	}
+	if !hit0 || hit1 {
+		t.Fatalf("channel scoping wrong: ch0 %v ch1 %v", hit0, hit1)
+	}
+}
+
+func TestBankAndRowScoping(t *testing.T) {
+	s, cfg := newSet(CodeDSD)
+	amap := topology.NewAddrMap(cfg)
+	target := topology.Addr(4096 * 33)
+	co := amap.Decode(target)
+	s.Inject(Fault{Kind: Row, Socket: 0, Channel: co.Channel, Bank: co.Bank, Row: co.Row})
+	if !s.ReadFails(0, target) {
+		t.Fatal("row fault missed its own row")
+	}
+	// A different row of the same bank is unaffected (global stride = local
+	// row stride x sockets).
+	other := target + topology.Addr(uint64(cfg.RowBufferBytes)*uint64(cfg.BanksPerRank)*
+		uint64(cfg.ChannelsPerSkt)*uint64(cfg.Sockets))
+	if co2 := amap.Decode(other); co2.Bank == co.Bank && co2.Row != co.Row {
+		if s.ReadFails(0, other) {
+			t.Fatal("row fault leaked to another row")
+		}
+	} else {
+		t.Fatalf("test address construction wrong: %+v vs %+v", co, co2)
+	}
+}
+
+func TestChipkillCorrectsSingleChip(t *testing.T) {
+	s, _ := newSet(CodeChipkill)
+	s.Inject(Fault{Kind: Chip, Socket: 0, Channel: 0, Chip: 3})
+	if s.ReadFails(0, 0) {
+		t.Fatal("Chipkill must correct a single failed chip (no failed read)")
+	}
+	// A second chip on the same channel exceeds SSC.
+	s.Inject(Fault{Kind: Chip, Socket: 0, Channel: 0, Chip: 5})
+	if !s.ReadFails(0, 0) {
+		t.Fatal("two failed chips must defeat Chipkill")
+	}
+}
+
+func TestDetectionOnlyCodesAlwaysFailOnFault(t *testing.T) {
+	for _, code := range []LocalCode{CodeDSD, CodeTSD} {
+		s, _ := newSet(code)
+		s.Inject(Fault{Kind: Cell, Socket: 0, Addr: 128})
+		if !s.ReadFails(0, 128) {
+			t.Fatalf("code %v: detection-only must report uncorrectable", code)
+		}
+		if s.ReadFails(0, 256) {
+			t.Fatalf("code %v: cell fault leaked to another line", code)
+		}
+	}
+}
+
+func TestSECDEDCorrectsSingleCellOnly(t *testing.T) {
+	s, _ := newSet(CodeSECDED)
+	s.Inject(Fault{Kind: Cell, Socket: 0, Addr: 64})
+	if s.ReadFails(0, 64) {
+		t.Fatal("SEC-DED corrects a single-bit cell fault")
+	}
+	s.Inject(Fault{Kind: Cell, Socket: 0, Addr: 64})
+	if !s.ReadFails(0, 64) {
+		t.Fatal("two cell faults on a line must fail SEC-DED")
+	}
+}
+
+func TestCodeNoneSilent(t *testing.T) {
+	s, _ := newSet(CodeNone)
+	s.Inject(Fault{Kind: Controller, Socket: 0})
+	if s.ReadFails(0, 0) {
+		t.Fatal("CodeNone can never detect (SDC, not DUE)")
+	}
+}
+
+func TestRepairRemovesTransientOnly(t *testing.T) {
+	s, _ := newSet(CodeTSD)
+	s.Inject(Fault{Kind: Cell, Socket: 0, Addr: 64, Transient: true})
+	s.Inject(Fault{Kind: Cell, Socket: 0, Addr: 640})
+	s.Repair(0, 64)
+	if s.ReadFails(0, 64) {
+		t.Fatal("transient fault survived repair")
+	}
+	s.Repair(0, 640)
+	if !s.ReadFails(0, 640) {
+		t.Fatal("hard fault removed by repair")
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active faults = %d, want 1", s.Active())
+	}
+}
+
+func TestPredicateMatchesReadFails(t *testing.T) {
+	s, _ := newSet(CodeTSD)
+	s.Inject(Fault{Kind: Controller, Socket: 1})
+	p := s.Predicate()
+	if p(0, 0) != s.ReadFails(0, 0) || p(1, 0) != s.ReadFails(1, 0) {
+		t.Fatal("Predicate disagrees with ReadFails")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Cell: "cell", Row: "row", Column: "column", Bank: "bank",
+		Chip: "chip", DIMM: "dimm", Channel: "channel", Controller: "controller",
+		Kind(99): "?",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestMonteCarloDetectionGuarantees(t *testing.T) {
+	// 1- and 2-symbol errors: never missed by the r=2 code.
+	for _, k := range []int{1, 2} {
+		res := MeasureRS256Detection(18, 16, k, 400, 11)
+		if res.Missed != 0 {
+			t.Errorf("DSD missed %d/%d %d-symbol errors", res.Missed, res.Trials, k)
+		}
+	}
+	// 3-symbol errors may occasionally alias (the analytical model's
+	// detection-miss term); the miss rate must be small.
+	res := MeasureRS256Detection(18, 16, 3, 2000, 12)
+	if res.MissRate() > 0.05 {
+		t.Errorf("DSD 3-symbol miss rate = %v, want < 5%%", res.MissRate())
+	}
+	// TSD: 1..3 symbols never missed.
+	for _, k := range []int{1, 2, 3} {
+		res := MeasureRS16Detection(35, 32, k, 200, 13)
+		if res.Missed != 0 {
+			t.Errorf("TSD missed %d %d-symbol errors", res.Missed, k)
+		}
+	}
+}
+
+func TestMonteCarloChipkill(t *testing.T) {
+	// Single chip: always corrected back to the truth.
+	res := MeasureChipkillDecode(18, 16, 1, 500, 14)
+	if res.Corrected != res.Trials {
+		t.Fatalf("Chipkill corrected %d/%d single-chip trials", res.Corrected, res.Trials)
+	}
+	// Two chips: mostly detected, some miscorrected (the correction/
+	// detection trade of Section II).
+	res2 := MeasureChipkillDecode(18, 16, 2, 2000, 15)
+	if res2.Detected == 0 {
+		t.Fatal("no 2-chip errors detected")
+	}
+	if res2.Corrected > 0 {
+		t.Fatal("2-chip errors cannot be genuinely corrected by SSC")
+	}
+	if res2.MissRate() > 0.10 {
+		t.Fatalf("2-chip miss+miscorrect rate %v too high", res2.MissRate())
+	}
+	if res.MissRate() != 0 {
+		t.Fatal("single-chip trials must have zero miss rate")
+	}
+}

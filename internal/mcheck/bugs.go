@@ -1,0 +1,33 @@
+package mcheck
+
+// Injectable protocol bugs, used by the test suite to demonstrate that the
+// checker actually catches the failure classes it claims to (a checker that
+// verifies everything, including broken protocols, verifies nothing).
+type Bugs struct {
+	// SkipDenyPush: the home directory grants exclusive access to the home
+	// side without notifying the replica directory. The replica then serves
+	// stale data — the core bug the deny/allow machinery exists to prevent.
+	SkipDenyPush bool
+	// ServeWithoutEntry: the allow-protocol replica directory serves a read
+	// from the replica even when it has no entry (treating absence as yes).
+	ServeWithoutEntry bool
+	// SkipDualWriteback: a home-side writeback updates only home memory,
+	// never the replica.
+	SkipDualWriteback bool
+	// DropFetchData: an LLC whose eviction is in flight ignores fetch
+	// probes instead of answering with the data it still holds (the
+	// PutM/Fetch race resolved wrongly).
+	DropFetchData bool
+}
+
+// activeBugs is consulted by the transition functions; it is only ever set
+// by tests via CheckWithBugs.
+var activeBugs Bugs
+
+// CheckWithBugs runs Check with protocol mutations enabled. Not safe for
+// concurrent use (tests only).
+func CheckWithBugs(mode Mode, opts Options, bugs Bugs) Result {
+	activeBugs = bugs
+	defer func() { activeBugs = Bugs{} }()
+	return Check(mode, opts)
+}

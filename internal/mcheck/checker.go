@@ -1,0 +1,160 @@
+package mcheck
+
+import "fmt"
+
+// Result summarises an exploration.
+type Result struct {
+	Mode       Mode
+	States     int // distinct states reached
+	Depth      int // BFS diameter
+	Violations []Violation
+	// Trace is the shortest path to the first violation (state keys), empty
+	// when the protocol verifies.
+	Trace []string
+}
+
+// OK reports whether the protocol verified cleanly.
+func (r Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r Result) String() string {
+	status := "VERIFIED"
+	if !r.OK() {
+		status = fmt.Sprintf("FAILED (%d violations, first: %s)",
+			len(r.Violations), r.Violations[0].Desc)
+	}
+	return fmt.Sprintf("%s protocol: %d states, depth %d: %s",
+		r.Mode, r.States, r.Depth, status)
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxStates aborts exploration beyond this many states (0 = unlimited).
+	MaxStates int
+	// StopAtFirst stops at the first violation instead of collecting all.
+	StopAtFirst bool
+}
+
+// invariants checks the global safety properties of a single state.
+func invariants(s *state) []string {
+	var v []string
+	// SWMR: a writable copy excludes every other copy.
+	if s.hSt == lM && (s.rSt == lM || s.rSt == lS) {
+		v = append(v, fmt.Sprintf("SWMR: H in M while R in %d", s.rSt))
+	}
+	if s.rSt == lM && (s.hSt == lM || s.hSt == lS) {
+		v = append(v, fmt.Sprintf("SWMR: R in M while H in %d", s.hSt))
+	}
+	// Data-value: readable copies hold the last written value.
+	if (s.hSt == lS || s.hSt == lM) && s.hVal != s.lastWritten {
+		v = append(v, fmt.Sprintf("data-value: H holds %d, last written %d", s.hVal, s.lastWritten))
+	}
+	if (s.rSt == lS || s.rSt == lM) && s.rVal != s.lastWritten {
+		v = append(v, fmt.Sprintf("data-value: R holds %d, last written %d", s.rVal, s.lastWritten))
+	}
+	// Replica-unreadability while the home side can write: if the home LLC
+	// holds M, the replica directory must not be in a readable state.
+	if s.hSt == lM && s.rdReadable() {
+		v = append(v, fmt.Sprintf("replica readable (rdSt=%d, mode=%v) while home LLC is M", s.rdSt, s.mode))
+	}
+	// Quiescent strong consistency: with no activity and no dirty copies,
+	// both memories hold the last written value.
+	if s.quiescent() && s.hSt != lM && s.rSt != lM {
+		if s.homeMem != s.lastWritten {
+			v = append(v, fmt.Sprintf("quiescent: home memory %d != last written %d", s.homeMem, s.lastWritten))
+		}
+		if s.replMem != s.lastWritten {
+			v = append(v, fmt.Sprintf("quiescent: replica memory %d != last written %d", s.replMem, s.lastWritten))
+		}
+	}
+	// Channel occupancy sanity.
+	for i := range s.chans {
+		if len(s.chans[i]) > maxChan {
+			v = append(v, fmt.Sprintf("channel %d overflow (%d messages)", i, len(s.chans[i])))
+		}
+	}
+	return v
+}
+
+// Check explores the reachable state space of the protocol by BFS. When a
+// violation is found, Result.Trace holds the shortest path of state keys
+// from the reset state to the state whose expansion (or whose own
+// invariants) produced the first violation — the Murφ-style counterexample.
+func Check(mode Mode, opts Options) Result {
+	res := Result{Mode: mode}
+	start := initial(mode)
+	startKey := start.key()
+	visited := map[string]int{startKey: 0}
+	parent := map[string]string{startKey: ""}
+	frontier := []*state{start}
+	depth := 0
+
+	report := func(desc string, d int, at string) {
+		res.Violations = append(res.Violations, Violation{Desc: desc, Depth: d})
+		if res.Trace == nil {
+			res.Trace = rebuildTrace(parent, at)
+		}
+	}
+
+	for _, desc := range invariants(start) {
+		report(desc, 0, startKey)
+	}
+
+	for len(frontier) > 0 {
+		if opts.StopAtFirst && len(res.Violations) > 0 {
+			break
+		}
+		var next []*state
+		depth++
+		for _, s := range frontier {
+			sk := s.key()
+			sr := successors(s)
+			for _, desc := range sr.viol {
+				report(desc, depth, sk)
+				if opts.StopAtFirst {
+					break
+				}
+			}
+			if len(sr.next) == 0 && !s.quiescent() {
+				report("deadlock: no successors in a non-quiescent state", depth-1, sk)
+			}
+			for _, ns := range sr.next {
+				k := ns.key()
+				if _, ok := visited[k]; ok {
+					continue
+				}
+				visited[k] = depth
+				parent[k] = sk
+				for _, desc := range invariants(ns) {
+					report(desc, depth, k)
+				}
+				next = append(next, ns)
+				if opts.MaxStates > 0 && len(visited) >= opts.MaxStates {
+					res.States = len(visited)
+					res.Depth = depth
+					report("state budget exhausted before full verification", depth, k)
+					return res
+				}
+			}
+		}
+		frontier = next
+	}
+	res.States = len(visited)
+	res.Depth = depth - 1
+	return res
+}
+
+// rebuildTrace walks parent pointers back to the reset state.
+func rebuildTrace(parent map[string]string, at string) []string {
+	var rev []string
+	for k := at; k != ""; k = parent[k] {
+		rev = append(rev, k)
+		if len(rev) > 10_000 {
+			break // defensive: malformed parent chain
+		}
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}

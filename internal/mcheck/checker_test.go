@@ -1,0 +1,187 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's verification claim (Section V-C4): both protocol families are
+// deadlock-free and maintain the coherence invariants. These are exhaustive
+// explorations of the bounded model (one address, two written values).
+func TestAllowProtocolVerifies(t *testing.T) {
+	r := Check(Allow, Options{})
+	t.Log(r)
+	if !r.OK() {
+		for i, v := range r.Violations {
+			if i > 4 {
+				break
+			}
+			t.Errorf("violation: %v", v)
+		}
+	}
+	if r.States < 1000 {
+		t.Errorf("suspiciously small state space: %d", r.States)
+	}
+}
+
+func TestDenyProtocolVerifies(t *testing.T) {
+	r := Check(Deny, Options{})
+	t.Log(r)
+	if !r.OK() {
+		for i, v := range r.Violations {
+			if i > 4 {
+				break
+			}
+			t.Errorf("violation: %v", v)
+		}
+	}
+	if r.States < 1000 {
+		t.Errorf("suspiciously small state space: %d", r.States)
+	}
+}
+
+// A checker that cannot find bugs verifies nothing: each seeded protocol
+// mutation must produce a violation of the expected class.
+func TestCheckerCatchesSkippedDenyPush(t *testing.T) {
+	for _, m := range []Mode{Allow, Deny} {
+		r := CheckWithBugs(m, Options{StopAtFirst: true}, Bugs{SkipDenyPush: true})
+		if r.OK() {
+			t.Errorf("%v: skipping the deny/invalidate push went undetected", m)
+			continue
+		}
+		t.Logf("%v caught: %s", m, r.Violations[0].Desc)
+	}
+}
+
+func TestCheckerCatchesServeWithoutEntry(t *testing.T) {
+	r := CheckWithBugs(Allow, Options{StopAtFirst: true}, Bugs{ServeWithoutEntry: true})
+	if r.OK() {
+		t.Fatal("allow protocol serving on a missing entry went undetected")
+	}
+	if !strings.Contains(r.Violations[0].Desc, "replica") &&
+		!strings.Contains(r.Violations[0].Desc, "data-value") {
+		t.Errorf("unexpected violation class: %s", r.Violations[0].Desc)
+	}
+}
+
+func TestCheckerCatchesSkippedDualWriteback(t *testing.T) {
+	for _, m := range []Mode{Allow, Deny} {
+		r := CheckWithBugs(m, Options{StopAtFirst: true}, Bugs{SkipDualWriteback: true})
+		if r.OK() {
+			t.Errorf("%v: skipping the dual writeback went undetected", m)
+			continue
+		}
+		t.Logf("%v caught: %s", m, r.Violations[0].Desc)
+	}
+}
+
+func TestCheckerCatchesDroppedFetchData(t *testing.T) {
+	caught := false
+	for _, m := range []Mode{Allow, Deny} {
+		r := CheckWithBugs(m, Options{StopAtFirst: true}, Bugs{DropFetchData: true})
+		if !r.OK() {
+			caught = true
+			t.Logf("%v caught: %s", m, r.Violations[0].Desc)
+		}
+	}
+	if !caught {
+		t.Error("mishandled PutM/Fetch race went undetected in both modes")
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	r := Check(Allow, Options{MaxStates: 50})
+	if r.OK() {
+		t.Fatal("budget exhaustion must be reported as inconclusive")
+	}
+	if !strings.Contains(r.Violations[len(r.Violations)-1].Desc, "budget") {
+		t.Errorf("missing budget marker: %v", r.Violations)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" {
+		t.Fatal("Mode.String wrong")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Check(Deny, Options{})
+	if !strings.Contains(r.String(), "VERIFIED") {
+		t.Errorf("Result.String = %q", r.String())
+	}
+	bad := Result{Mode: Allow, Violations: []Violation{{Desc: "x", Depth: 3}}}
+	if !strings.Contains(bad.String(), "FAILED") {
+		t.Errorf("failed Result.String = %q", bad.String())
+	}
+	if bad.Violations[0].Error() != "depth 3: x" {
+		t.Errorf("Violation.Error = %q", bad.Violations[0].Error())
+	}
+}
+
+// Determinism: repeated explorations visit identical state spaces.
+func TestCheckDeterministic(t *testing.T) {
+	a := Check(Allow, Options{})
+	b := Check(Allow, Options{})
+	if a.States != b.States || a.Depth != b.Depth {
+		t.Fatalf("nondeterministic exploration: %v vs %v", a, b)
+	}
+}
+
+// A violation must come with a Murφ-style counterexample trace: a shortest
+// path of states from reset to the violating transition.
+func TestViolationTrace(t *testing.T) {
+	r := CheckWithBugs(Deny, Options{StopAtFirst: true}, Bugs{SkipDenyPush: true})
+	if r.OK() {
+		t.Fatal("seeded bug not found")
+	}
+	if len(r.Trace) < 2 {
+		t.Fatalf("trace has %d states, want a path", len(r.Trace))
+	}
+	// The trace starts at the reset state.
+	if r.Trace[0] != initial(Deny).key() {
+		t.Fatalf("trace does not start at reset: %q", r.Trace[0])
+	}
+	// The path length is consistent with BFS (shortest counterexample):
+	// within the violation's depth plus one.
+	if len(r.Trace) > r.Violations[0].Depth+2 {
+		t.Fatalf("trace length %d exceeds violation depth %d", len(r.Trace), r.Violations[0].Depth)
+	}
+	// Clean runs carry no trace.
+	if ok := Check(Deny, Options{}); ok.Trace != nil {
+		t.Fatal("verified run has a counterexample trace")
+	}
+}
+
+func TestExtractTable(t *testing.T) {
+	for _, m := range []Mode{Allow, Deny} {
+		entries, err := ExtractTable(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(entries) < 10 {
+			t.Fatalf("%v: table has only %d rows", m, len(entries))
+		}
+		out := FormatTable(m, entries)
+		// Core protocol rows must appear.
+		for _, want := range []string{"GetS(LLC)", "Deny/Inv(home)", "GrantS-ctrl(home)"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v table missing %q", m, want)
+			}
+		}
+		if m == Deny && !strings.Contains(out, "RM") {
+			t.Error("deny table has no RM state")
+		}
+		if m == Allow && strings.Contains(out, "I(readable)") {
+			t.Error("allow table uses deny-mode state naming")
+		}
+	}
+}
+
+func TestExtractTableRefusesBrokenProtocol(t *testing.T) {
+	activeBugs = Bugs{SkipDenyPush: true}
+	defer func() { activeBugs = Bugs{} }()
+	if _, err := ExtractTable(Deny); err == nil {
+		t.Fatal("table extracted from a non-verifying protocol")
+	}
+}

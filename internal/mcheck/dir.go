@@ -1,0 +1,219 @@
+package mcheck
+
+// Home directory transition handlers. The directory serializes transactions
+// per line via its MSHR: a request arriving while a transaction is in flight
+// is popped from the channel and deferred (dPend); completions are matched
+// against the busy context. This mirrors the simulator's HomeDir.seq.
+
+// dirOp records what the busy transaction will do on completion.
+const (
+	opGetS uint8 = iota
+	opGetX
+)
+
+func isDirRequest(t msgType) bool {
+	switch t {
+	case mGetS, mGetX, mPutM, mRDGetS, mRDGetX, mRDPutM:
+		return true
+	}
+	return false
+}
+
+// dirRecv consumes the head of one of the directory's input channels.
+func dirRecv(res *succResult, s *state, src chanID, m msg) {
+	n := s.clone()
+	n.pop(src)
+	if isDirRequest(m.t) {
+		if n.busy != dIdle {
+			if len(n.dPend) >= maxChan {
+				res.fail("home directory pending queue overflow")
+				return
+			}
+			n.dPend = append(n.dPend, pmsg{src: src, m: m})
+			res.add(n)
+			return
+		}
+		if !dirHandleRequest(res, n, src, m) {
+			return
+		}
+		dirDrain(res, n)
+		res.add(n)
+		return
+	}
+	// Completion message: must match the busy context.
+	if !dirComplete(res, n, src, m) {
+		return
+	}
+	dirDrain(res, n)
+	res.add(n)
+}
+
+// dirDrain processes deferred requests while the directory is idle.
+func dirDrain(res *succResult, n *state) bool {
+	for n.busy == dIdle && len(n.dPend) > 0 {
+		p := n.dPend[0]
+		n.dPend = n.dPend[1:]
+		if !dirHandleRequest(res, n, p.src, p.m) {
+			return false
+		}
+	}
+	return true
+}
+
+// dirHandleRequest runs one request transaction to its first blocking point.
+// It returns false if a model assertion failed (the state is discarded).
+func dirHandleRequest(res *succResult, n *state, src chanID, m msg) bool {
+	switch m.t {
+	case mGetS: // from H-LLC
+		switch {
+		case n.dSt != 2: // I or S: memory is current
+			n.dSt = 1
+			n.shH = true
+			n.send(chDtoH, msg{t: mGrantS, data: n.homeMem})
+		case n.owner == 1:
+			res.fail("GetS from H while H owns")
+			return false
+		default: // owner == RD side
+			n.send(chDtoRD, msg{t: mFetchDown})
+			n.busy, n.busyReq, n.busyData = dWaitFetchRD, 1, opGetS
+		}
+	case mGetX: // from H-LLC
+		switch {
+		case n.dSt != 2:
+			needRD := (n.shRD || n.mode == Deny) && !activeBugs.SkipDenyPush
+			if needRD {
+				n.send(chDtoRD, msg{t: mDeny})
+				n.busy, n.busyReq, n.busyData = dWaitInvRD, 1, opGetX
+			} else {
+				n.grantXHome()
+			}
+		case n.owner == 1:
+			res.fail("GetX from H while H owns")
+			return false
+		default:
+			n.send(chDtoRD, msg{t: mFetchInv})
+			n.busy, n.busyReq, n.busyData = dWaitFetchRD, 1, opGetX
+		}
+	case mPutM: // from H-LLC
+		if n.dSt == 2 && n.owner == 1 {
+			n.homeMem = m.data
+			n.dSt = 0
+			n.owner = 0
+			n.shH = false
+			if activeBugs.SkipDualWriteback {
+				n.send(chDtoH, msg{t: mPutAck})
+				break
+			}
+			// Synchronous dual writeback: the PutAck waits for the replica.
+			n.send(chDtoRD, msg{t: mReplWrite, data: m.data})
+			n.busy = dWaitReplAck
+		} else {
+			// Stale writeback (ownership already migrated): drop.
+			n.send(chDtoH, msg{t: mPutAck})
+		}
+	case mRDGetS:
+		switch {
+		case n.dSt != 2:
+			n.dSt = 1
+			n.shRD = true
+			// Replica memory is current: control-only grant.
+			n.send(chDtoRD, msg{t: mGrantSCtrl})
+		case n.owner == 2:
+			res.fail("RDGetS while RD side owns")
+			return false
+		default: // owner == H
+			n.send(chDtoH, msg{t: mFetchDown})
+			n.busy, n.busyReq, n.busyData = dWaitFetchH, 2, opGetS
+		}
+	case mRDGetX:
+		switch {
+		case n.dSt != 2:
+			if n.shH {
+				n.send(chDtoH, msg{t: mInv})
+				n.busy, n.busyReq, n.busyData = dWaitInvH, 2, opGetX
+			} else {
+				n.grantXRD()
+			}
+		case n.owner == 2:
+			res.fail("RDGetX while RD side owns")
+			return false
+		default:
+			n.send(chDtoH, msg{t: mFetchInv})
+			n.busy, n.busyReq, n.busyData = dWaitFetchH, 2, opGetX
+		}
+	case mRDPutM:
+		if n.dSt == 2 && n.owner == 2 {
+			n.homeMem = m.data
+			n.dSt = 0
+			n.owner = 0
+			n.shRD = false
+		}
+		n.send(chDtoRD, msg{t: mRDPutAck})
+	}
+	return true
+}
+
+func (n *state) grantXHome() {
+	n.dSt = 2
+	n.owner = 1
+	n.shH, n.shRD = true, false
+	n.send(chDtoH, msg{t: mGrantX, data: n.homeMem})
+}
+
+func (n *state) grantXRD() {
+	n.dSt = 2
+	n.owner = 2
+	n.shH, n.shRD = false, true
+	n.send(chDtoRD, msg{t: mGrantXCtrl})
+}
+
+// dirComplete matches a response against the busy context.
+func dirComplete(res *succResult, n *state, src chanID, m msg) bool {
+	switch {
+	case n.busy == dWaitInvH && src == chHtoD && m.t == mInvAck:
+		n.shH = false
+		n.busy = dIdle
+		n.grantXRD()
+	case n.busy == dWaitInvRD && src == chRDtoD && m.t == mDenyAck:
+		n.shRD = false
+		n.busy = dIdle
+		n.grantXHome()
+	case n.busy == dWaitFetchH && src == chHtoD && m.t == mData:
+		n.busy = dIdle
+		if n.busyData == opGetS {
+			// Dual writeback of the owner's data; the grant carries the
+			// replica's half.
+			n.homeMem = m.data
+			n.dSt = 1
+			n.owner = 0
+			n.shH, n.shRD = true, true
+			n.send(chDtoRD, msg{t: mGrantSData, data: m.data})
+		} else {
+			n.dSt = 2
+			n.owner = 2
+			n.shH, n.shRD = false, true
+			n.send(chDtoRD, msg{t: mGrantXData, data: m.data})
+		}
+	case n.busy == dWaitFetchRD && src == chRDtoD && m.t == mData:
+		n.busy = dIdle
+		if n.busyData == opGetS {
+			n.homeMem = m.data // replica half was written by the RD
+			n.dSt = 1
+			n.owner = 0
+			n.shH, n.shRD = true, true
+			n.send(chDtoH, msg{t: mGrantS, data: m.data})
+		} else {
+			n.dSt = 2
+			n.owner = 1
+			n.shH, n.shRD = true, false
+			n.send(chDtoH, msg{t: mGrantX, data: m.data})
+		}
+	case n.busy == dWaitReplAck && src == chRDtoD && m.t == mReplAck:
+		n.busy = dIdle
+		n.send(chDtoH, msg{t: mPutAck})
+	default:
+		res.fail("home dir: unexpected completion %d on %d in busy %d", m.t, src, n.busy)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+// Package mcheck is an explicit-state model checker for Dvé's Coherent
+// Replication protocols, standing in for the paper's Murφ verification
+// (Section V-C4). It models one address across the full agent set — the
+// home-side LLC, the replica-side LLC, the home directory and the replica
+// directory — connected by ordered (FIFO) channels as in the machine ("all
+// links are ordered"), including the transient states and the writeback/
+// fetch races. BFS over the reachable state space checks:
+//
+//   - SWMR: a writable copy never coexists with any other copy;
+//   - data-value: every readable cached copy holds the last written value;
+//   - replica-consistency: whenever the replica directory serves a read
+//     from replica memory, that memory holds the last written value;
+//   - deadlock freedom: every non-quiescent state has a successor.
+package mcheck
+
+import "fmt"
+
+// Mode selects the protocol family being checked.
+type Mode int
+
+const (
+	Allow Mode = iota
+	Deny
+)
+
+func (m Mode) String() string {
+	if m == Deny {
+		return "deny"
+	}
+	return "allow"
+}
+
+// llcState covers stable and transient LLC states.
+type llcState uint8
+
+const (
+	lI   llcState = iota // invalid
+	lS                   // shared
+	lM                   // modified
+	lISd                 // awaiting GrantS
+	lIMd                 // awaiting GrantX
+	lMIa                 // evicted, awaiting PutAck (still holds data)
+)
+
+// rdState is the replica directory state. In allow mode rAbsent means "no
+// entry: must ask home"; in deny mode it means "readable".
+type rdState uint8
+
+const (
+	rAbsent rdState = iota
+	rS
+	rM
+	rRM
+)
+
+// dirBusy is the home directory's in-flight transaction, if any.
+type dirBusy uint8
+
+const (
+	dIdle        dirBusy = iota
+	dWaitInvH            // invalidating H for an RD exclusive request
+	dWaitInvRD           // invalidating/denying RD for an H exclusive request
+	dWaitFetchH          // fetching from H (for RD GetS/GetX)
+	dWaitFetchRD         // fetching from RD-side owner (for H GetS/GetX)
+	dWaitReplAck         // dual writeback: waiting for the replica write
+)
+
+// rdBusy is the replica directory's in-flight work.
+type rdBusy uint8
+
+const (
+	rIdle      rdBusy = iota
+	rWaitHomeS        // sent RDGetS
+	rWaitHomeX        // sent RDGetX
+	rWaitPut          // sent RDPutM
+)
+
+// msgType enumerates the protocol messages.
+type msgType uint8
+
+const (
+	mGetS msgType = iota
+	mGetX
+	mPutM
+	mGrantS // data grant to an LLC
+	mGrantX
+	mInv
+	mInvAck
+	mFetchDown // downgrade owner to S, return data
+	mFetchInv  // invalidate owner, return data
+	mData      // fetch response carrying data
+	mPutAck
+	mRDGetS // RD -> home
+	mRDGetX
+	mRDPutM
+	mGrantSCtrl // home -> RD: permission only, replica memory is current
+	mGrantSData // home -> RD: permission plus data (also replica update)
+	mGrantXCtrl
+	mGrantXData
+	mDeny      // home -> RD: set RM (deny protocol) or drop entry (allow)
+	mDenyAck   // RD -> home
+	mReplWrite // home -> RD: replica half of a dual writeback (undeny)
+	mReplAck   // RD -> home: replica write done
+	mRDPutAck
+)
+
+type msg struct {
+	t    msgType
+	data uint8
+	// aux marks variants: for mDeny in allow mode it is an invalidation.
+	aux uint8
+}
+
+// chanID names the six ordered channels.
+type chanID uint8
+
+const (
+	chHtoD chanID = iota // H-LLC -> home dir
+	chDtoH               // home dir -> H-LLC
+	chRtoRD
+	chRDtoR
+	chDtoRD
+	chRDtoD
+	numChans
+)
+
+// state is one global protocol state. It must be comparable cheaply; we use
+// a fmt-based key.
+type state struct {
+	mode Mode
+
+	hSt, rSt   llcState
+	hVal, rVal uint8
+
+	// Home directory.
+	dSt      uint8 // 0=I 1=S 2=M
+	shH      bool  // H-LLC in sharer vector
+	shRD     bool  // replica directory in sharer vector
+	owner    uint8 // 0=none 1=H 2=RD
+	busy     dirBusy
+	busyReq  uint8 // requester context for busy: 1=H 2=RD
+	busyData uint8 // data captured during a fetch
+
+	// Replica directory.
+	rdSt      rdState
+	rdBusy    rdBusy
+	rdInvPend bool  // invalidating R-LLC before acking a home Deny/Inv
+	rdFetch   uint8 // home-initiated fetch in progress: 0 none, 1 down, 2 inv
+
+	homeMem, replMem uint8
+	lastWritten      uint8
+	writes           uint8
+
+	chans [numChans][]msg
+
+	// MSHR-deferred requests (popped from a channel while busy).
+	dPend  []pmsg
+	rdPend []msg
+}
+
+// pmsg is a deferred request with its source channel.
+type pmsg struct {
+	src chanID
+	m   msg
+}
+
+func (s *state) key() string {
+	return fmt.Sprint(s.mode, s.hSt, s.rSt, s.hVal, s.rVal,
+		s.dSt, s.shH, s.shRD, s.owner, s.busy, s.busyReq, s.busyData,
+		s.rdSt, s.rdBusy, s.rdInvPend, s.rdFetch,
+		s.homeMem, s.replMem, s.lastWritten, s.writes, s.chans,
+		s.dPend, s.rdPend)
+}
+
+func (s *state) clone() *state {
+	n := *s
+	for i := range s.chans {
+		n.chans[i] = append([]msg(nil), s.chans[i]...)
+	}
+	n.dPend = append([]pmsg(nil), s.dPend...)
+	n.rdPend = append([]msg(nil), s.rdPend...)
+	return &n
+}
+
+func (s *state) send(c chanID, m msg) { s.chans[c] = append(s.chans[c], m) }
+
+func (s *state) head(c chanID) (msg, bool) {
+	if len(s.chans[c]) == 0 {
+		return msg{}, false
+	}
+	return s.chans[c][0], true
+}
+
+func (s *state) pop(c chanID) msg {
+	m := s.chans[c][0]
+	s.chans[c] = s.chans[c][1:]
+	return m
+}
+
+func (s *state) quiescent() bool {
+	for i := range s.chans {
+		if len(s.chans[i]) > 0 {
+			return false
+		}
+	}
+	return s.busy == dIdle && s.rdBusy == rIdle && !s.rdInvPend && s.rdFetch == 0 &&
+		len(s.dPend) == 0 && len(s.rdPend) == 0 &&
+		s.hSt != lISd && s.hSt != lIMd && s.hSt != lMIa &&
+		s.rSt != lISd && s.rSt != lIMd && s.rSt != lMIa
+}
+
+// initial returns the reset state: memory and replica hold value 0.
+func initial(mode Mode) *state {
+	return &state{mode: mode}
+}

@@ -1,0 +1,236 @@
+package mcheck
+
+// Replica directory transition handlers. Demand requests from the
+// replica-side LLC serialize behind the RD's own in-flight transaction
+// (rdPend); home-pushed forwards (Deny, Fetch, ReplWrite) are handled even
+// while a local transaction is outstanding, exactly like the simulator's
+// ReplicaDir (probes never block).
+
+func isRDRequest(t msgType) bool {
+	return t == mGetS || t == mGetX || t == mPutM
+}
+
+// rdReadable reports whether the replica may be served in the current state.
+func (s *state) rdReadable() bool {
+	if s.mode == Deny {
+		return s.rdSt == rAbsent || s.rdSt == rS
+	}
+	if activeBugs.ServeWithoutEntry {
+		return s.rdSt == rS || s.rdSt == rAbsent
+	}
+	return s.rdSt == rS
+}
+
+// rdRecvLocal consumes the head of the R-LLC -> RD channel.
+func rdRecvLocal(res *succResult, s *state, m msg) {
+	n := s.clone()
+	n.pop(chRtoRD)
+	if isRDRequest(m.t) {
+		if n.rdBusy != rIdle || n.rdFetch != 0 {
+			if len(n.rdPend) >= maxChan {
+				res.fail("replica directory pending queue overflow")
+				return
+			}
+			n.rdPend = append(n.rdPend, m)
+			res.add(n)
+			return
+		}
+		if !rdHandleRequest(res, n, m) {
+			return
+		}
+		rdDrain(res, n)
+		res.add(n)
+		return
+	}
+	// Responses from the R-LLC: InvAck (deny/inv probe) or Data (fetch).
+	switch {
+	case m.t == mInvAck && n.rdInvPend:
+		n.rdInvPend = false
+		n.send(chRDtoD, msg{t: mDenyAck})
+	case m.t == mData && n.rdFetch == 1: // FetchDown
+		n.replMem = m.data // dual-writeback half at the replica
+		n.rdSt = rS
+		n.rdFetch = 0
+		n.send(chRDtoD, msg{t: mData, data: m.data})
+	case m.t == mData && n.rdFetch == 2: // FetchInv
+		if n.mode == Deny {
+			n.rdSt = rRM
+		} else {
+			n.rdSt = rAbsent
+		}
+		n.rdFetch = 0
+		n.send(chRDtoD, msg{t: mData, data: m.data})
+	default:
+		res.fail("replica dir: unexpected R-LLC response %d (invPend=%v fetch=%d)",
+			m.t, n.rdInvPend, n.rdFetch)
+		return
+	}
+	rdDrain(res, n)
+	res.add(n)
+}
+
+// rdDrain processes deferred local requests while the RD is idle.
+func rdDrain(res *succResult, n *state) bool {
+	for n.rdBusy == rIdle && n.rdFetch == 0 && len(n.rdPend) > 0 {
+		m := n.rdPend[0]
+		n.rdPend = n.rdPend[1:]
+		if !rdHandleRequest(res, n, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// rdServe delivers replica data to the R-LLC, checking the central
+// replica-consistency invariant: a served replica must hold the last
+// written value.
+func rdServe(res *succResult, n *state, grant msgType) bool {
+	if n.replMem != n.lastWritten {
+		res.fail("replica-consistency: serving replMem=%d, last written %d (mode %v, rdSt %d)",
+			n.replMem, n.lastWritten, n.mode, n.rdSt)
+		return false
+	}
+	n.send(chRDtoR, msg{t: grant, data: n.replMem})
+	return true
+}
+
+func rdHandleRequest(res *succResult, n *state, m msg) bool {
+	switch m.t {
+	case mGetS:
+		switch {
+		case n.rdSt == rM:
+			res.fail("R-LLC GetS while it owns the line")
+			return false
+		case n.rdReadable():
+			n.rdSt = rS
+			return rdServe(res, n, mGrantS)
+		default:
+			// allow: no entry; deny: RM — pull from home.
+			n.send(chRDtoD, msg{t: mRDGetS})
+			n.rdBusy = rWaitHomeS
+		}
+	case mGetX:
+		if n.rdSt == rM {
+			res.fail("R-LLC GetX while it owns the line")
+			return false
+		}
+		n.send(chRDtoD, msg{t: mRDGetX})
+		n.rdBusy = rWaitHomeX
+	case mPutM:
+		if n.rdSt == rM {
+			// Still the owner: apply the replica half and forward home.
+			n.replMem = m.data
+			n.send(chRDtoD, msg{t: mRDPutM, data: m.data})
+			n.rdBusy = rWaitPut
+		} else {
+			// Ownership was fetched away while the writeback was queued:
+			// drop the stale data (the fetch already carried it home).
+			n.send(chRDtoR, msg{t: mPutAck})
+		}
+	}
+	return true
+}
+
+// rdRecvHome consumes the head of the home-dir -> RD channel.
+func rdRecvHome(res *succResult, s *state, m msg) {
+	n := s.clone()
+	n.pop(chDtoRD)
+	switch m.t {
+	case mGrantSCtrl:
+		if n.rdBusy != rWaitHomeS {
+			res.fail("GrantSCtrl while rdBusy=%d", n.rdBusy)
+			return
+		}
+		n.rdBusy = rIdle
+		n.rdSt = rS
+		if !rdServe(res, n, mGrantS) {
+			return
+		}
+	case mGrantSData:
+		if n.rdBusy != rWaitHomeS {
+			res.fail("GrantSData while rdBusy=%d", n.rdBusy)
+			return
+		}
+		n.rdBusy = rIdle
+		n.rdSt = rS
+		n.replMem = m.data // replica half of the owner's dual writeback
+		n.send(chRDtoR, msg{t: mGrantS, data: m.data})
+	case mGrantXCtrl:
+		if n.rdBusy != rWaitHomeX {
+			res.fail("GrantXCtrl while rdBusy=%d", n.rdBusy)
+			return
+		}
+		n.rdBusy = rIdle
+		n.rdSt = rM
+		if !rdServe(res, n, mGrantX) {
+			return
+		}
+	case mGrantXData:
+		if n.rdBusy != rWaitHomeX {
+			res.fail("GrantXData while rdBusy=%d", n.rdBusy)
+			return
+		}
+		n.rdBusy = rIdle
+		n.rdSt = rM
+		// Ownership transfer: the replica memory stays stale until the
+		// next writeback; rM makes it unreadable meanwhile.
+		n.send(chRDtoR, msg{t: mGrantX, data: m.data})
+	case mRDPutAck:
+		if n.rdBusy != rWaitPut {
+			res.fail("RDPutAck while rdBusy=%d", n.rdBusy)
+			return
+		}
+		n.rdBusy = rIdle
+		if n.rdSt == rM {
+			n.rdSt = rAbsent // both copies now current
+		}
+		n.send(chRDtoR, msg{t: mPutAck})
+	case mDeny:
+		if n.rdInvPend {
+			res.fail("Deny while a previous Deny is still pending")
+			return
+		}
+		// Install the deny (deny protocol) or drop the entry (allow), and
+		// conservatively invalidate any R-LLC copy before acking.
+		if n.mode == Deny {
+			n.rdSt = rRM
+		} else {
+			n.rdSt = rAbsent
+		}
+		n.rdInvPend = true
+		n.send(chRDtoR, msg{t: mInv})
+		res.add(n)
+		return
+	case mFetchDown:
+		if n.rdFetch != 0 {
+			res.fail("FetchDown while another fetch pending")
+			return
+		}
+		n.rdFetch = 1
+		n.send(chRDtoR, msg{t: mFetchDown})
+		res.add(n)
+		return
+	case mFetchInv:
+		if n.rdFetch != 0 {
+			res.fail("FetchInv while another fetch pending")
+			return
+		}
+		n.rdFetch = 2
+		n.send(chRDtoR, msg{t: mFetchInv})
+		res.add(n)
+		return
+	case mReplWrite:
+		n.replMem = m.data
+		if n.mode == Deny && n.rdSt == rRM {
+			n.rdSt = rAbsent // undeny: the home-side writer wrote back
+		}
+		n.send(chRDtoD, msg{t: mReplAck})
+		res.add(n)
+		return
+	default:
+		res.fail("replica dir: unexpected home message %d", m.t)
+		return
+	}
+	rdDrain(res, n)
+	res.add(n)
+}

@@ -1,0 +1,249 @@
+package mcheck
+
+import "fmt"
+
+// Violation describes an invariant or assertion failure found during
+// exploration.
+type Violation struct {
+	Desc  string
+	Depth int
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("depth %d: %s", v.Depth, v.Desc)
+}
+
+// maxWrites bounds the number of distinct written values explored.
+const maxWrites = 2
+
+// maxChan bounds channel occupancy; exceeding it indicates a modelling bug.
+const maxChan = 8
+
+// succ computes all successor states. Assertion failures during a
+// transition are returned as violations.
+type succResult struct {
+	next []*state
+	viol []string
+}
+
+func (r *succResult) add(s *state) { r.next = append(r.next, s) }
+func (r *succResult) fail(f string, a ...any) {
+	r.viol = append(r.viol, fmt.Sprintf(f, a...))
+}
+
+func successors(s *state) succResult {
+	var res succResult
+
+	// --- Spontaneous LLC transitions -----------------------------------
+	llcSpont(&res, s, true)
+	llcSpont(&res, s, false)
+
+	// --- LLC message handling ------------------------------------------
+	if m, ok := s.head(chDtoH); ok {
+		llcRecv(&res, s, true, m)
+	}
+	if m, ok := s.head(chRDtoR); ok {
+		llcRecv(&res, s, false, m)
+	}
+
+	// --- Home directory ------------------------------------------------
+	if m, ok := s.head(chHtoD); ok {
+		dirRecv(&res, s, chHtoD, m)
+	}
+	if m, ok := s.head(chRDtoD); ok {
+		dirRecv(&res, s, chRDtoD, m)
+	}
+
+	// --- Replica directory ----------------------------------------------
+	if m, ok := s.head(chRtoRD); ok {
+		rdRecvLocal(&res, s, m)
+	}
+	if m, ok := s.head(chDtoRD); ok {
+		rdRecvHome(&res, s, m)
+	}
+
+	// --- Replica directory capacity eviction (silent S drop) ------------
+	if s.rdSt == rS && s.rdBusy == rIdle && !s.rdInvPend && s.rdFetch == 0 {
+		n := s.clone()
+		n.rdSt = rAbsent
+		res.add(n)
+	}
+
+	return res
+}
+
+// llcSpont issues demand requests and evictions from a stable LLC.
+func llcSpont(res *succResult, s *state, home bool) {
+	st := s.rSt
+	if home {
+		st = s.hSt
+	}
+	reqCh, respVal := chRtoRD, s.rVal
+	if home {
+		reqCh = chHtoD
+	}
+	_ = respVal
+	switch st {
+	case lI:
+		n := s.clone()
+		n.send(reqCh, msg{t: mGetS})
+		n.setLLC(home, lISd)
+		res.add(n)
+		n2 := s.clone()
+		n2.send(reqCh, msg{t: mGetX})
+		n2.setLLC(home, lIMd)
+		res.add(n2)
+	case lS:
+		// Upgrade.
+		n := s.clone()
+		n.send(reqCh, msg{t: mGetX})
+		n.setLLC(home, lIMd)
+		res.add(n)
+		// Silent clean eviction.
+		n2 := s.clone()
+		n2.setLLC(home, lI)
+		res.add(n2)
+	case lM:
+		// Store (bounded).
+		if s.writes < maxWrites {
+			n := s.clone()
+			n.writes++
+			n.lastWritten = n.writes
+			n.setLLCVal(home, n.writes)
+			res.add(n)
+		}
+		// Dirty eviction.
+		n := s.clone()
+		n.send(reqCh, msg{t: mPutM, data: n.llcVal(home)})
+		n.setLLC(home, lMIa)
+		res.add(n)
+	}
+}
+
+func (s *state) setLLC(home bool, st llcState) {
+	if home {
+		s.hSt = st
+	} else {
+		s.rSt = st
+	}
+}
+
+func (s *state) setLLCVal(home bool, v uint8) {
+	if home {
+		s.hVal = v
+	} else {
+		s.rVal = v
+	}
+}
+
+func (s *state) llcVal(home bool) uint8 {
+	if home {
+		return s.hVal
+	}
+	return s.rVal
+}
+
+func (s *state) llcSt(home bool) llcState {
+	if home {
+		return s.hSt
+	}
+	return s.rSt
+}
+
+// llcRecv handles the head of the LLC's incoming channel.
+func llcRecv(res *succResult, s *state, home bool, m msg) {
+	inCh, outCh := chRDtoR, chRtoRD
+	if home {
+		inCh, outCh = chDtoH, chHtoD
+	}
+	st := s.llcSt(home)
+	n := s.clone()
+	n.pop(inCh)
+	switch m.t {
+	case mGrantS:
+		if st != lISd {
+			res.fail("GrantS to LLC(home=%v) in state %d", home, st)
+			return
+		}
+		if m.data != s.lastWritten {
+			res.fail("data-value: GrantS delivered %d, last written %d", m.data, s.lastWritten)
+			return
+		}
+		n.setLLCVal(home, m.data)
+		n.setLLC(home, lS)
+		res.add(n)
+	case mGrantX:
+		if st != lIMd {
+			res.fail("GrantX to LLC(home=%v) in state %d", home, st)
+			return
+		}
+		if m.data != s.lastWritten {
+			res.fail("data-value: GrantX delivered %d, last written %d", m.data, s.lastWritten)
+			return
+		}
+		n.setLLCVal(home, m.data)
+		n.setLLC(home, lM)
+		// Perform the store that motivated the upgrade.
+		if n.writes < maxWrites {
+			n.writes++
+			n.lastWritten = n.writes
+			n.setLLCVal(home, n.writes)
+		}
+		res.add(n)
+	case mInv:
+		switch st {
+		case lS, lI:
+			n.setLLC(home, lI)
+			n.send(outCh, msg{t: mInvAck})
+			res.add(n)
+		case lISd, lIMd:
+			// Stale invalidation for the pre-request epoch.
+			n.send(outCh, msg{t: mInvAck})
+			res.add(n)
+		case lMIa:
+			n.send(outCh, msg{t: mInvAck})
+			res.add(n)
+		default:
+			res.fail("Inv to LLC(home=%v) in M", home)
+		}
+	case mFetchDown:
+		switch st {
+		case lM:
+			n.setLLC(home, lS)
+			n.send(outCh, msg{t: mData, data: s.llcVal(home)})
+			res.add(n)
+		case lMIa:
+			// Eviction in flight: we still hold the data; answer and let
+			// the stale PutM be dropped at the directory.
+			if activeBugs.DropFetchData {
+				n.send(outCh, msg{t: mData, data: s.homeMem}) // stale memory
+			} else {
+				n.send(outCh, msg{t: mData, data: s.llcVal(home)})
+			}
+			res.add(n)
+		default:
+			res.fail("FetchDown to LLC(home=%v) in state %d", home, st)
+		}
+	case mFetchInv:
+		switch st {
+		case lM:
+			n.setLLC(home, lI)
+			n.send(outCh, msg{t: mData, data: s.llcVal(home)})
+			res.add(n)
+		case lMIa:
+			n.send(outCh, msg{t: mData, data: s.llcVal(home)})
+			res.add(n)
+		default:
+			res.fail("FetchInv to LLC(home=%v) in state %d", home, st)
+		}
+	case mPutAck:
+		if st != lMIa {
+			res.fail("PutAck to LLC(home=%v) in state %d", home, st)
+			return
+		}
+		n.setLLC(home, lI)
+		res.add(n)
+	default:
+		res.fail("unexpected msg %d at LLC(home=%v)", m.t, home)
+	}
+}

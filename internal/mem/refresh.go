@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"dve/internal/sim"
+	"dve/internal/topology"
+)
+
+// Refresh and row-hammer modeling. DDR4 devices must receive a refresh
+// command every tREFI on average, and each refresh blocks the rank for
+// tRFC (Section II: "more frequent memory refresh ... could cause
+// performance degradation"). The controller also tracks per-row activation
+// counts within a refresh window to flag row-hammer risk (Kim et al., the
+// paper's [38]); Dvé mitigates the hammer by routing reads to the replica
+// of a hammered row, which the replica directory already does for free.
+
+// Refresh timing for 8Gb DDR4 at normal temperature. A full retention
+// period (tREFW, 64 ms) spans 8192 tREFI ticks; each row is refreshed once
+// per tREFW, which is therefore the row-hammer accumulation window.
+const (
+	tREFIns      = 7800.0
+	tRFCns       = 350.0
+	ticksPerREFW = 8192
+)
+
+// RowHammerThreshold is the per-row activation count within one refresh
+// window beyond which the row is flagged (a deliberately low, simulation-
+// friendly analogue of the ~50K real-device threshold).
+const RowHammerThreshold = 2048
+
+// EnableRefresh starts periodic refresh on every channel: every tREFI the
+// controller stalls all banks of the channel for tRFC and clears the
+// row-hammer window counters.
+func (mc *Controller) EnableRefresh() {
+	if mc.refreshOn {
+		return
+	}
+	mc.refreshOn = true
+	mc.hammer = make([]map[uint64]uint32, len(mc.channels))
+	for i := range mc.hammer {
+		mc.hammer[i] = make(map[uint64]uint32)
+	}
+	interval := sim.Cycle(mc.cfg.Cycles(tREFIns))
+	blocked := sim.Cycle(mc.cfg.Cycles(tRFCns))
+	var tick func()
+	tick = func() {
+		for ci := range mc.channels {
+			ch := mc.channels[ci]
+			from := mc.eng.Now()
+			until := from + blocked
+			for b := range ch.banks {
+				if ch.banks[b].nextFree < until {
+					ch.banks[b].nextFree = until
+				}
+				// Refresh closes the row buffers.
+				ch.banks[b].hasOpen = false
+			}
+			if ch.bus < until {
+				ch.bus = until
+			}
+			mc.Refreshes++
+		}
+		// A full retention window ends: hammer counters restart (each row
+		// has been refreshed once).
+		mc.refreshTicks++
+		if mc.refreshTicks%ticksPerREFW == 0 {
+			for ci := range mc.hammer {
+				mc.hammer[ci] = make(map[uint64]uint32)
+			}
+		}
+		mc.eng.ScheduleDaemon(interval, tick)
+	}
+	mc.eng.ScheduleDaemon(interval, tick)
+}
+
+// noteActivate records a row activation for row-hammer tracking. It reports
+// whether the row has crossed the hammer threshold in this refresh window.
+func (mc *Controller) noteActivate(ch int, co topology.DRAMCoord) bool {
+	if !mc.refreshOn || mc.hammer == nil {
+		return false
+	}
+	key := uint64(co.Bank)<<48 | co.Row
+	mc.hammer[ch][key]++
+	if mc.hammer[ch][key] == RowHammerThreshold {
+		mc.HammeredRows++
+		return true
+	}
+	return mc.hammer[ch][key] > RowHammerThreshold
+}
+
+// HammerRisk reports whether an address's row is currently beyond the
+// hammer threshold; Dvé-aware callers can divert such reads to the replica.
+func (mc *Controller) HammerRisk(a topology.Addr) bool {
+	if !mc.refreshOn || mc.hammer == nil {
+		return false
+	}
+	co := mc.amap.Decode(a)
+	key := uint64(co.Bank)<<48 | co.Row
+	return mc.hammer[co.Channel][key] >= RowHammerThreshold
+}

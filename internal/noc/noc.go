@@ -1,0 +1,102 @@
+// Package noc models the on-chip and inter-socket interconnect: a 2x4 mesh
+// per socket with single-cycle hops and static shortest-path routing, and a
+// point-to-point inter-socket link with configurable latency (Table II). The
+// inter-socket link counts messages and bytes for the Fig 8 traffic analysis
+// and models serialization so that bandwidth effects are visible.
+package noc
+
+import "dve/internal/sim"
+
+// Message sizes in bytes: a control message carries an 8-byte header; a data
+// message additionally carries a 64-byte cache line.
+const (
+	CtrlBytes = 8
+	DataBytes = 72
+)
+
+// LinkBytesPerCycle is the inter-socket link bandwidth used for
+// serialization: 16 bytes/cycle (~48 GB/s at 3 GHz, UPI-class).
+const LinkBytesPerCycle = 16
+
+// Mesh computes intra-socket distances between tiles of an R x C mesh.
+// Tiles are numbered row-major. Cores occupy tiles 0..n-1; the LLC/directory
+// "home" tile is the mesh center by convention.
+type Mesh struct {
+	rows, cols int
+	hopCyc     int
+}
+
+// NewMesh returns a mesh with the given geometry and per-hop latency.
+func NewMesh(rows, cols, hopCyc int) *Mesh {
+	return &Mesh{rows: rows, cols: cols, hopCyc: hopCyc}
+}
+
+// Tiles returns the number of tiles in the mesh.
+func (m *Mesh) Tiles() int { return m.rows * m.cols }
+
+// Hops returns the Manhattan distance between two tiles (XY routing).
+func (m *Mesh) Hops(a, b int) int {
+	ar, ac := a/m.cols, a%m.cols
+	br, bc := b/m.cols, b%m.cols
+	dr, dc := ar-br, ac-bc
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// Latency returns the cycles to traverse from tile a to tile b.
+func (m *Mesh) Latency(a, b int) sim.Cycle {
+	return sim.Cycle(m.Hops(a, b) * m.hopCyc)
+}
+
+// CoreTile returns the tile index for a core within its socket.
+func (m *Mesh) CoreTile(core int) int { return core % m.Tiles() }
+
+// HomeTile is the tile hosting the LLC slice/directory/memory controller.
+func (m *Mesh) HomeTile() int { return m.Tiles() / 2 }
+
+// Link is the inter-socket point-to-point interconnect. It is full duplex:
+// each direction serializes independently. All sends are delivered; the link
+// never drops or reorders within a direction ("all links are ordered").
+type Link struct {
+	eng     *sim.Engine
+	latency sim.Cycle
+	// nextFree[d] is the earliest cycle direction d (0: s0->s1, 1: s1->s0)
+	// can start serializing a new message.
+	nextFree [2]sim.Cycle
+
+	Msgs  uint64
+	Bytes uint64
+}
+
+// NewLink creates the inter-socket link with the given one-way latency.
+func NewLink(eng *sim.Engine, latency sim.Cycle) *Link {
+	return &Link{eng: eng, latency: latency}
+}
+
+// Latency returns the configured one-way propagation latency.
+func (l *Link) Latency() sim.Cycle { return l.latency }
+
+// Send transmits bytes from socket src to the other socket and invokes fn on
+// delivery. Delivery time = serialization (bandwidth) + propagation latency,
+// with per-direction queuing when the link is busy.
+func (l *Link) Send(src int, bytes int, fn func()) {
+	dir := src & 1
+	now := l.eng.Now()
+	start := now
+	if l.nextFree[dir] > start {
+		start = l.nextFree[dir]
+	}
+	ser := sim.Cycle((bytes + LinkBytesPerCycle - 1) / LinkBytesPerCycle)
+	l.nextFree[dir] = start + ser
+	l.Msgs++
+	l.Bytes += uint64(bytes)
+	l.eng.At(start+ser+l.latency, fn)
+}
+
+// Reset clears the traffic counters (the queue state is left alone).
+func (l *Link) Reset() { l.Msgs, l.Bytes = 0, 0 }

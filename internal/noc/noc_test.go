@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dve/internal/sim"
+	"dve/internal/topology"
+)
+
+func TestMeshHops(t *testing.T) {
+	m := NewMesh(2, 4, 1)
+	if m.Tiles() != 8 {
+		t.Fatalf("Tiles = %d, want 8", m.Tiles())
+	}
+	// tile 0 = (0,0), tile 7 = (1,3): distance 1+3 = 4.
+	if m.Hops(0, 7) != 4 {
+		t.Fatalf("Hops(0,7) = %d, want 4", m.Hops(0, 7))
+	}
+	if m.Hops(3, 3) != 0 {
+		t.Fatal("Hops to self != 0")
+	}
+	if m.Latency(0, 7) != 4 {
+		t.Fatalf("Latency(0,7) = %d, want 4", m.Latency(0, 7))
+	}
+}
+
+// Property: mesh distance is a metric (symmetric, zero iff equal, triangle
+// inequality).
+func TestMeshMetricProperty(t *testing.T) {
+	m := NewMesh(2, 4, 1)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%8, int(b)%8, int(c)%8
+		if m.Hops(x, y) != m.Hops(y, x) {
+			return false
+		}
+		if (m.Hops(x, y) == 0) != (x == y) {
+			return false
+		}
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkDeliveryAndAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 150)
+	var arrived sim.Cycle
+	l.Send(0, CtrlBytes, func() { arrived = eng.Now() })
+	eng.Run()
+	// 8 bytes -> 1 serialization cycle + 150 latency.
+	if arrived != 151 {
+		t.Fatalf("ctrl delivered at %d, want 151", arrived)
+	}
+	if l.Msgs != 1 || l.Bytes != CtrlBytes {
+		t.Fatalf("accounting: msgs=%d bytes=%d", l.Msgs, l.Bytes)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 100)
+	var first, second sim.Cycle
+	// Two back-to-back data messages in the same direction must serialize.
+	l.Send(0, DataBytes, func() { first = eng.Now() })
+	l.Send(0, DataBytes, func() { second = eng.Now() })
+	eng.Run()
+	ser := sim.Cycle((DataBytes + LinkBytesPerCycle - 1) / LinkBytesPerCycle)
+	if first != ser+100 {
+		t.Fatalf("first delivered at %d, want %d", first, ser+100)
+	}
+	if second != 2*ser+100 {
+		t.Fatalf("second delivered at %d, want %d (serialized)", second, 2*ser+100)
+	}
+}
+
+func TestLinkFullDuplex(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 100)
+	var a, b sim.Cycle
+	l.Send(0, DataBytes, func() { a = eng.Now() })
+	l.Send(1, DataBytes, func() { b = eng.Now() })
+	eng.Run()
+	if a != b {
+		t.Fatalf("opposite directions should not serialize: %d vs %d", a, b)
+	}
+}
+
+func TestLinkReset(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 10)
+	l.Send(0, CtrlBytes, func() {})
+	eng.Run()
+	l.Reset()
+	if l.Msgs != 0 || l.Bytes != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestLinkLatencyFromConfig(t *testing.T) {
+	c := topology.Default(topology.ProtoDeny)
+	eng := sim.NewEngine()
+	l := NewLink(eng, sim.Cycle(c.InterSocketCyc()))
+	if l.Latency() != 150 {
+		t.Fatalf("link latency = %d, want 150", l.Latency())
+	}
+}

@@ -1,0 +1,157 @@
+package reliability
+
+import "math/rand"
+
+// Monte-Carlo lifetime simulation: an independent, sampling-based
+// cross-check of the Section IV closed forms. We simulate a fleet of
+// systems over many scrub intervals; chip failures arrive per-interval with
+// probability FIT-rate x interval, and each scheme's correction rule
+// decides whether a interval's failure pattern is corrected, a DUE, or a
+// potential SDC. Because real rates are ~1e-2 per billion hours, the
+// simulation accelerates the FIT rate and the analytical model is evaluated
+// at the same accelerated rate — the comparison is rate-to-rate at equal
+// parameters, which validates the combinatorial structure of the formulas
+// (the part that is easy to get wrong) rather than the absolute magnitudes.
+
+// MCConfig parameterises a lifetime simulation.
+type MCConfig struct {
+	// PFail is the per-chip failure probability per scrub interval
+	// (accelerated; the analytical equivalent is FIT*Window with
+	// FIT = PFail / Window).
+	PFail float64
+	// ChipsPerDIMM and DIMMs mirror the analytical model.
+	ChipsPerDIMM int
+	DIMMs        int
+	// Intervals is the number of scrub intervals simulated.
+	Intervals int
+	Seed      int64
+}
+
+// MCOutcome counts per-interval outcomes across the fleet.
+type MCOutcome struct {
+	Intervals  int
+	DUE        int // intervals with an uncorrectable pattern
+	SDCTrials  int // intervals whose pattern is beyond detection guarantees
+	Correction int // intervals with correctable failures
+}
+
+// DUERate returns the per-interval DUE probability.
+func (o MCOutcome) DUERate() float64 {
+	if o.Intervals == 0 {
+		return 0
+	}
+	return float64(o.DUE) / float64(o.Intervals)
+}
+
+// Scheme correction rules, expressed over the multiset of failed chips in
+// one scrub interval.
+
+// SimulateChipkill runs the baseline: one failed chip per DIMM corrects;
+// two or more in the same DIMM is a DUE; three or more additionally risks
+// an SDC (subject to the detection-miss probability the analytical model
+// multiplies in).
+func SimulateChipkill(c MCConfig) MCOutcome {
+	r := rand.New(rand.NewSource(c.Seed))
+	var out MCOutcome
+	out.Intervals = c.Intervals
+	for it := 0; it < c.Intervals; it++ {
+		worstFails := 0
+		any := false
+		for d := 0; d < c.DIMMs; d++ {
+			fails := sampleFails(r, c.ChipsPerDIMM, c.PFail)
+			if fails > worstFails {
+				worstFails = fails
+			}
+			if fails > 0 {
+				any = true
+			}
+		}
+		switch {
+		case worstFails >= 3:
+			out.DUE++
+			out.SDCTrials++
+		case worstFails == 2:
+			out.DUE++
+		case any:
+			out.Correction++
+		}
+	}
+	return out
+}
+
+// SimulateDve runs the replicated organisation: each DIMM is paired with a
+// replica DIMM on the other socket. Data is lost only if a chip and its
+// same-position partner fail in one interval. detectChips is the per-DIMM
+// failure count beyond which detection may miss (3 for DSD, 4 for TSD).
+func SimulateDve(c MCConfig, detectChips int) MCOutcome {
+	r := rand.New(rand.NewSource(c.Seed))
+	var out MCOutcome
+	out.Intervals = c.Intervals
+	primary := make([]bool, c.ChipsPerDIMM)
+	replica := make([]bool, c.ChipsPerDIMM)
+	for it := 0; it < c.Intervals; it++ {
+		due := false
+		sdc := false
+		corrected := false
+		for d := 0; d < c.DIMMs; d++ {
+			pf, rf := 0, 0
+			pair := false
+			for ch := 0; ch < c.ChipsPerDIMM; ch++ {
+				primary[ch] = r.Float64() < c.PFail
+				replica[ch] = r.Float64() < c.PFail
+				if primary[ch] {
+					pf++
+				}
+				if replica[ch] {
+					rf++
+				}
+				if primary[ch] && replica[ch] {
+					pair = true
+				}
+			}
+			if pair {
+				due = true
+			}
+			if pf >= detectChips || rf >= detectChips {
+				sdc = true
+			}
+			if pf+rf > 0 && !pair {
+				corrected = true
+			}
+		}
+		if due {
+			out.DUE++
+		}
+		if sdc {
+			out.SDCTrials++
+		}
+		if corrected && !due {
+			out.Correction++
+		}
+	}
+	return out
+}
+
+// AnalyticalDUEPerInterval evaluates the closed-form per-interval DUE
+// probability at the Monte-Carlo parameters: for Chipkill, any ordered pair
+// within a DIMM; for Dvé, a same-position pair across replicas.
+func AnalyticalDUEPerInterval(c MCConfig, dve bool) float64 {
+	n := float64(c.ChipsPerDIMM)
+	p := c.PFail
+	if dve {
+		// P(some same-position pair in some DIMM) ~ DIMMs * n * p^2.
+		return float64(c.DIMMs) * n * p * p
+	}
+	// P(>=2 of n chips in some DIMM) ~ DIMMs * C(n,2) * p^2.
+	return float64(c.DIMMs) * n * (n - 1) / 2 * p * p
+}
+
+func sampleFails(r *rand.Rand, chips int, p float64) int {
+	k := 0
+	for i := 0; i < chips; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,100 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func mcConfig() MCConfig {
+	return MCConfig{
+		PFail:        2e-3, // accelerated per-interval chip failure probability
+		ChipsPerDIMM: 9,
+		DIMMs:        32,
+		Intervals:    400_000,
+		Seed:         7,
+	}
+}
+
+// The Monte-Carlo DUE rates must agree with the closed forms evaluated at
+// the same accelerated parameters — this validates the combinatorics of the
+// Section IV model independently of the formulas themselves.
+func TestMonteCarloMatchesAnalyticalChipkill(t *testing.T) {
+	c := mcConfig()
+	mc := SimulateChipkill(c)
+	ana := AnalyticalDUEPerInterval(c, false)
+	got := mc.DUERate()
+	if math.Abs(got-ana)/ana > 0.10 {
+		t.Fatalf("Chipkill MC DUE %.3e vs analytical %.3e (>10%% apart)", got, ana)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticalDve(t *testing.T) {
+	c := mcConfig()
+	mc := SimulateDve(c, 3)
+	ana := AnalyticalDUEPerInterval(c, true)
+	got := mc.DUERate()
+	if math.Abs(got-ana)/ana > 0.12 {
+		t.Fatalf("Dvé MC DUE %.3e vs analytical %.3e (>12%% apart)", got, ana)
+	}
+}
+
+// The headline Table I structure: Dvé's DUE rate is (n-1)/2 lower than
+// Chipkill's at identical failure rates — 4x for 9-chip DIMMs. (The
+// analytical model counts ordered pairs, a factor-2 convention; the ratio
+// is convention-free, which is what the Monte Carlo checks.)
+func TestMonteCarloDUEImprovement(t *testing.T) {
+	c := mcConfig()
+	ck := SimulateChipkill(c).DUERate()
+	dv := SimulateDve(c, 3).DUERate()
+	impr := ck / dv
+	if impr < 3.4 || impr > 4.6 {
+		t.Fatalf("MC DUE improvement = %.2f, want ~4 (Table I)", impr)
+	}
+}
+
+// TSD pushes the SDC-risk pattern from 3 failed chips to 4: the number of
+// risky intervals must drop by orders of magnitude.
+func TestMonteCarloTSDBeatsDSDOnSDC(t *testing.T) {
+	c := mcConfig()
+	c.PFail = 2e-2 // higher acceleration so 3-chip patterns appear
+	c.Intervals = 300_000
+	dsd := SimulateDve(c, 3).SDCTrials
+	tsd := SimulateDve(c, 4).SDCTrials
+	if dsd == 0 {
+		t.Fatal("acceleration too low: no 3-chip patterns sampled")
+	}
+	if tsd >= dsd/5 {
+		t.Fatalf("TSD risky intervals %d not well below DSD's %d", tsd, dsd)
+	}
+}
+
+// With no failures there are no outcomes; with certain failure everything
+// is a DUE.
+func TestMonteCarloBoundaries(t *testing.T) {
+	c := mcConfig()
+	c.PFail = 0
+	c.Intervals = 1000
+	if out := SimulateChipkill(c); out.DUE != 0 || out.Correction != 0 {
+		t.Fatal("outcomes without failures")
+	}
+	c.PFail = 1
+	if out := SimulateDve(c, 3); out.DUE != c.Intervals {
+		t.Fatalf("certain failure gave %d/%d DUEs", out.DUE, c.Intervals)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	c := mcConfig()
+	c.Intervals = 50_000
+	a := SimulateChipkill(c)
+	b := SimulateChipkill(c)
+	if a != b {
+		t.Fatal("Monte Carlo not deterministic for a fixed seed")
+	}
+}
+
+func TestDUERateEmpty(t *testing.T) {
+	if (MCOutcome{}).DUERate() != 0 {
+		t.Fatal("empty outcome rate not zero")
+	}
+}

@@ -1,0 +1,180 @@
+// Package rmt implements the Replica Map Table and the OS co-design of
+// Sections III and V-D: a system-wide table mapping physical pages to
+// replica pages on the opposite socket, an allocator that carves replica
+// pages from each socket's free memory (the "idle memory" the paper
+// exploits), and runtime enable/disable so reliability can be traded for
+// capacity on demand. Pages without an RMT entry seamlessly fall back to a
+// single copy.
+package rmt
+
+import (
+	"fmt"
+
+	"dve/internal/topology"
+)
+
+// Table is the system-wide replica map table (RMT). It is page-granular; a
+// missing entry means the page is not replicated.
+type Table struct {
+	pageBytes uint64
+	fwd       map[uint64]uint64 // page -> replica page
+	rev       map[uint64]uint64 // replica page -> page
+
+	Lookups, Hits uint64
+}
+
+// NewTable creates an empty RMT for the given page size.
+func NewTable(pageBytes int) *Table {
+	return &Table{
+		pageBytes: uint64(pageBytes),
+		fwd:       make(map[uint64]uint64),
+		rev:       make(map[uint64]uint64),
+	}
+}
+
+// Map installs a replica mapping. Both directions must be free.
+func (t *Table) Map(page, replicaPage uint64) error {
+	if _, ok := t.fwd[page]; ok {
+		return fmt.Errorf("rmt: page %d already mapped", page)
+	}
+	if _, ok := t.rev[replicaPage]; ok {
+		return fmt.Errorf("rmt: replica page %d already in use", replicaPage)
+	}
+	t.fwd[page] = replicaPage
+	t.rev[replicaPage] = page
+	return nil
+}
+
+// Unmap removes a page's replica mapping (reclaiming the replica page for
+// addressable use). It reports whether a mapping existed.
+func (t *Table) Unmap(page uint64) bool {
+	rp, ok := t.fwd[page]
+	if !ok {
+		return false
+	}
+	delete(t.fwd, page)
+	delete(t.rev, rp)
+	return true
+}
+
+// Len returns the number of replicated pages.
+func (t *Table) Len() int { return len(t.fwd) }
+
+// ReplicaAddr translates an address to its replica address; ok=false means
+// the page is not replicated (single-copy fallback).
+func (t *Table) ReplicaAddr(a topology.Addr) (topology.Addr, bool) {
+	t.Lookups++
+	page := uint64(a) / t.pageBytes
+	rp, ok := t.fwd[page]
+	if !ok {
+		return 0, false
+	}
+	t.Hits++
+	return topology.Addr(rp*t.pageBytes + uint64(a)%t.pageBytes), true
+}
+
+// Allocator manages each socket's free page pool and builds replica pairs
+// on opposite sockets, the way the OS memory allocator would use its
+// knowledge of the memory topology (Section V-D).
+type Allocator struct {
+	cfg  *topology.Config
+	amap *topology.AddrMap
+	free [][]uint64 // per-socket free replica-candidate pages (LIFO)
+}
+
+// NewAllocator seeds the allocator with free pages per socket. Pages are
+// identified by page number; their socket follows the interleave mapping.
+func NewAllocator(cfg *topology.Config, freePages []uint64) *Allocator {
+	a := &Allocator{
+		cfg:  cfg,
+		amap: topology.NewAddrMap(cfg),
+		free: make([][]uint64, cfg.Sockets),
+	}
+	for _, p := range freePages {
+		s := int(p % uint64(cfg.Sockets))
+		a.free[s] = append(a.free[s], p)
+	}
+	return a
+}
+
+// FreePages returns the number of free pages on a socket.
+func (a *Allocator) FreePages(socket int) int { return len(a.free[socket]) }
+
+// Donate returns reclaimed pages to the free pool (e.g. after Unmap, or
+// when a balloon driver carves more idle memory).
+func (a *Allocator) Donate(pages []uint64) {
+	for _, p := range pages {
+		s := int(p % uint64(a.cfg.Sockets))
+		a.free[s] = append(a.free[s], p)
+	}
+}
+
+// AllocReplica picks a free page on the opposite socket of the given page,
+// removing it from the pool. It fails when the opposite socket has no idle
+// memory left (the capacity-vs-reliability trade at its limit).
+func (a *Allocator) AllocReplica(page uint64) (uint64, error) {
+	home := int(page % uint64(a.cfg.Sockets))
+	other := (home + 1) % a.cfg.Sockets
+	pool := a.free[other]
+	if len(pool) == 0 {
+		return 0, fmt.Errorf("rmt: no idle memory on socket %d for a replica of page %d", other, page)
+	}
+	rp := pool[len(pool)-1]
+	a.free[other] = pool[:len(pool)-1]
+	return rp, nil
+}
+
+// Manager ties the table and allocator together: the interface the OS (or
+// the control plane, for per-VM / per-process policies) drives.
+type Manager struct {
+	Table *Table
+	Alloc *Allocator
+}
+
+// NewManager builds a manager over the config with the given idle pages.
+func NewManager(cfg *topology.Config, idlePages []uint64) *Manager {
+	return &Manager{
+		Table: NewTable(cfg.PageBytes),
+		Alloc: NewAllocator(cfg, idlePages),
+	}
+}
+
+// Replicate enables replication for a run of pages (e.g. a critical
+// allocation, a VM, or a process's address space). It returns the number of
+// pages actually replicated; it stops early when idle memory runs out.
+func (m *Manager) Replicate(firstPage uint64, nPages int) (int, error) {
+	done := 0
+	for i := 0; i < nPages; i++ {
+		p := firstPage + uint64(i)
+		if _, ok := m.Table.fwd[p]; ok {
+			done++ // already replicated
+			continue
+		}
+		rp, err := m.Alloc.AllocReplica(p)
+		if err != nil {
+			return done, err
+		}
+		if err := m.Table.Map(p, rp); err != nil {
+			m.Alloc.Donate([]uint64{rp})
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// Release disables replication for a run of pages, returning the replica
+// pages to the free pool (memory "hot-plugged back to system visible
+// capacity"). It returns how many pages were released.
+func (m *Manager) Release(firstPage uint64, nPages int) int {
+	done := 0
+	for i := 0; i < nPages; i++ {
+		p := firstPage + uint64(i)
+		if rp, ok := m.Table.fwd[p]; ok {
+			m.Table.Unmap(p)
+			m.Alloc.Donate([]uint64{rp})
+			done++
+		}
+	}
+	return done
+}

@@ -1,0 +1,168 @@
+package rmt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dve/internal/topology"
+)
+
+func cfg() topology.Config { return topology.Default(topology.ProtoDeny) }
+
+func TestTableMapUnmap(t *testing.T) {
+	c := cfg()
+	tb := NewTable(c.PageBytes)
+	if err := tb.Map(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(4, 9); err == nil {
+		t.Fatal("double map of page allowed")
+	}
+	if err := tb.Map(6, 7); err == nil {
+		t.Fatal("replica page reused")
+	}
+	a := topology.Addr(4*uint64(c.PageBytes) + 100)
+	ra, ok := tb.ReplicaAddr(a)
+	if !ok || uint64(ra) != 7*uint64(c.PageBytes)+100 {
+		t.Fatalf("ReplicaAddr = %v,%v", ra, ok)
+	}
+	if !tb.Unmap(4) {
+		t.Fatal("Unmap missed mapping")
+	}
+	if tb.Unmap(4) {
+		t.Fatal("Unmap of unmapped page reported true")
+	}
+	if _, ok := tb.ReplicaAddr(a); ok {
+		t.Fatal("unmapped page still replicated")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tb.Len())
+	}
+}
+
+func TestTableFallbackIsSilent(t *testing.T) {
+	c := cfg()
+	tb := NewTable(c.PageBytes)
+	if _, ok := tb.ReplicaAddr(12345); ok {
+		t.Fatal("unmapped address reported replicated")
+	}
+	if tb.Lookups != 1 || tb.Hits != 0 {
+		t.Fatalf("lookup accounting: %d/%d", tb.Lookups, tb.Hits)
+	}
+}
+
+func TestAllocatorOppositeSocket(t *testing.T) {
+	c := cfg()
+	// Pages 0,2,4 live on socket 0; 1,3,5 on socket 1.
+	a := NewAllocator(&c, []uint64{0, 1, 2, 3, 4, 5})
+	rp, err := a.AllocReplica(10) // page 10: socket 0 -> replica from socket 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp%2 != 1 {
+		t.Fatalf("replica page %d not on opposite socket", rp)
+	}
+	if a.FreePages(1) != 2 {
+		t.Fatalf("socket-1 pool = %d, want 2", a.FreePages(1))
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	c := cfg()
+	a := NewAllocator(&c, []uint64{1}) // one idle page on socket 1
+	if _, err := a.AllocReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocReplica(2); err == nil {
+		t.Fatal("allocation from empty pool succeeded")
+	}
+	a.Donate([]uint64{3})
+	if _, err := a.AllocReplica(2); err != nil {
+		t.Fatal("donated page not allocatable")
+	}
+}
+
+func TestManagerReplicateRelease(t *testing.T) {
+	c := cfg()
+	var idle []uint64
+	for p := uint64(1000); p < 1100; p++ {
+		idle = append(idle, p)
+	}
+	m := NewManager(&c, idle)
+	n, err := m.Replicate(0, 40) // pages 0..39: 20 per socket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("replicated %d pages, want 40", n)
+	}
+	// Every replicated page maps to the opposite socket.
+	for p := uint64(0); p < 40; p++ {
+		ra, ok := m.Table.ReplicaAddr(topology.Addr(p * uint64(c.PageBytes)))
+		if !ok {
+			t.Fatalf("page %d not replicated", p)
+		}
+		rpage := uint64(ra) / uint64(c.PageBytes)
+		if rpage%2 == p%2 {
+			t.Fatalf("page %d replica %d on same socket", p, rpage)
+		}
+	}
+	// Re-replicating is idempotent.
+	n, err = m.Replicate(0, 40)
+	if err != nil || n != 40 {
+		t.Fatalf("re-replicate: %d, %v", n, err)
+	}
+	// Release returns pages to the pool.
+	before := m.Alloc.FreePages(0) + m.Alloc.FreePages(1)
+	if rel := m.Release(0, 40); rel != 40 {
+		t.Fatalf("released %d, want 40", rel)
+	}
+	after := m.Alloc.FreePages(0) + m.Alloc.FreePages(1)
+	if after != before+40 {
+		t.Fatalf("pool %d -> %d, want +40", before, after)
+	}
+	if m.Table.Len() != 0 {
+		t.Fatal("table not empty after release")
+	}
+}
+
+func TestManagerPartialOnExhaustion(t *testing.T) {
+	c := cfg()
+	m := NewManager(&c, []uint64{101, 103}) // two idle pages, both socket 1
+	n, err := m.Replicate(0, 10)            // even pages need socket-1 replicas
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if n == 0 || n >= 10 {
+		t.Fatalf("partial replication count = %d", n)
+	}
+}
+
+// Property: Map/Unmap keep the forward and reverse tables consistent.
+func TestTableBijectionProperty(t *testing.T) {
+	c := cfg()
+	f := func(ops []uint16) bool {
+		tb := NewTable(c.PageBytes)
+		for _, o := range ops {
+			p := uint64(o % 64)
+			rp := uint64(o%64) + 1000
+			if o%3 == 0 {
+				tb.Unmap(p)
+			} else {
+				tb.Map(p, rp) // may fail; fine
+			}
+			if len(tb.fwd) != len(tb.rev) {
+				return false
+			}
+			for q, r := range tb.fwd {
+				if tb.rev[r] != q {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

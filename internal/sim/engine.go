@@ -1,0 +1,136 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of events ordered by (time, sequence
+// number). Events scheduled for the same cycle fire in the order they were
+// scheduled, which makes every simulation run fully reproducible.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type event struct {
+	when   Cycle
+	seq    uint64
+	fn     func()
+	daemon bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// demand counts queued non-daemon events; Run returns when it reaches
+	// zero even if daemon events (refresh ticks, monitors) remain.
+	demand int
+	// Stopped reports whether Stop was called during the current Run.
+	stopped bool
+}
+
+// NewEngine returns an engine with an empty event queue at cycle 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles. A delay of 0 runs fn later in the
+// current cycle, after all previously scheduled events for this cycle.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.seq++
+	e.demand++
+	heap.Push(&e.events, &event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleDaemon schedules a background event: daemon events fire like
+// normal ones but do not keep Run alive — the run ends when only daemons
+// remain (periodic refresh, monitors, heartbeats).
+func (e *Engine) ScheduleDaemon(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &event{when: e.now + delay, seq: e.seq, fn: fn, daemon: true})
+}
+
+// At runs fn at the given absolute cycle, which must not be in the past.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	e.demand++
+	heap.Push(&e.events, &event{when: when, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Stop makes the current Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the cycle of the last executed event.
+func (e *Engine) Run() Cycle {
+	e.stopped = false
+	for e.events.Len() > 0 && e.demand > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if !ev.daemon {
+			e.demand--
+		}
+		e.now = ev.when
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= limit. Events beyond the limit stay
+// queued. It returns the current cycle (== limit unless the queue drained or
+// Stop was called first).
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		if e.events[0].when > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if !ev.daemon {
+			e.demand--
+		}
+		e.now = ev.when
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log2-bucketed latency histogram: bucket i counts samples in
+// [2^i, 2^(i+1)). It supports percentile estimation, which the evaluation
+// uses to characterise the LLC-miss service-time distribution (mean latency
+// alone hides the bimodal local/remote split that Dvé collapses).
+type Histogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 1 && b < len(Histogram{}.buckets)-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile estimates the p-quantile (0 < p <= 1) assuming uniform
+// distribution within a bucket.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.count == 0 || p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			if i == 0 {
+				lo = 0
+			}
+			frac := (target - cum) / float64(c)
+			v := lo + frac*(hi-lo)
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(h.max)
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// String renders a compact summary with a sparkline over non-empty buckets.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	lo, hi := -1, 0
+	var peak uint64
+	for i, c := range h.buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	var bar strings.Builder
+	for i := lo; i <= hi; i++ {
+		g := int(float64(h.buckets[i]) / float64(peak) * float64(len(glyphs)-1))
+		bar.WriteRune(glyphs[g])
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d [2^%d..2^%d) %s",
+		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99),
+		h.max, lo, hi+1, bar.String())
+}
+
+// Buckets returns the non-empty (bucketLowBound, count) pairs, ascending.
+func (h *Histogram) Buckets() [][2]uint64 {
+	var out [][2]uint64
+	for i, c := range h.buckets {
+		if c > 0 {
+			out = append(out, [2]uint64{uint64(math.Exp2(float64(i))), c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.String() != "histogram: empty" {
+		t.Fatalf("empty String = %q", h.String())
+	}
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Mean() != (1+2+3+100+1000)/5.0 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+// Percentiles are monotone, bounded by max, and p100 == max.
+func TestHistogramPercentileProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(uint64(v) + 1)
+		}
+		prev := 0.0
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Percentile(p)
+			if v < prev-1e-9 {
+				return false
+			}
+			if v > float64(h.Max())+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		h.Add(uint64(r.Intn(1024)))
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 300 || p50 > 750 {
+		t.Fatalf("p50 of U[0,1024) = %v, want ~512 within log2-bucket error", p50)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(10)
+	a.Add(20)
+	b.Add(1000)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 1000 {
+		t.Fatalf("merged count=%d max=%d", a.Count(), a.Max())
+	}
+}
+
+func TestHistogramEdge(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	if h.Percentile(0.5) > 1 {
+		t.Fatalf("p50 of {0} = %v", h.Percentile(0.5))
+	}
+	if h.Percentile(0) != 0 {
+		t.Fatal("p0 != 0")
+	}
+	if h.Percentile(2) > 1 {
+		t.Fatal("p>1 not clamped")
+	}
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	h.Add(3)
+	h.Add(100)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if bs[0][0] != 2 || bs[0][1] != 2 {
+		t.Fatalf("first bucket = %v", bs[0])
+	}
+}

@@ -1,0 +1,181 @@
+// Package stats collects simulation counters and provides the aggregate
+// statistics used in the paper's evaluation (geometric-mean speedups over the
+// top-10 / top-15 / all-20 benchmark groups, normalized traffic, sharing-class
+// distributions).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters accumulates the per-run statistics reported by the simulator.
+type Counters struct {
+	Cycles uint64 // total simulated cycles for the region of interest
+	Ops    uint64 // memory + compute operations retired
+
+	Reads, Writes uint64
+
+	L1Hits, L1Misses   uint64
+	LLCHits, LLCMisses uint64
+
+	// Inter-socket link accounting (Fig 8).
+	LinkMsgs, LinkBytes uint64
+
+	// Sharing-pattern classification at the home directory (Fig 7).
+	PrivateRead, ReadOnly, ReadWrite, PrivateReadWrite uint64
+
+	// Replica behaviour.
+	ReplicaDirHits, ReplicaDirMisses uint64
+	ReplicaReads                     uint64 // reads served by the local replica
+	HomeReads                        uint64 // reads served by home memory
+	SpecIssued, SpecSquashed         uint64
+	DualWritebacks                   uint64
+
+	// MissLatency is the LLC-miss service-time distribution.
+	MissLatency Histogram
+
+	// DRAM events (for the energy model).
+	DRAMReads, DRAMWrites   uint64
+	RowHits, RowMisses      uint64
+	DRAMBusyCycles          uint64
+	DRAMChannels            int
+	MemLatencySum, MemCount uint64 // average memory latency
+
+	// Reliability events during simulation with fault injection.
+	CorrectedErrors   uint64
+	DetectedUncorrect uint64
+	Recoveries        uint64 // recoveries via replica
+	DegradedLines     uint64
+
+	// Dynamic protocol profile decisions.
+	EpochsAllow, EpochsDeny uint64
+}
+
+// MPKI returns LLC misses per thousand operations, the paper's workload
+// ordering metric ("descending order of L2 MPKI").
+func (c *Counters) MPKI() float64 {
+	if c.Ops == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.Ops) * 1000
+}
+
+// AvgMemLatency returns the mean LLC-miss service latency in cycles.
+func (c *Counters) AvgMemLatency() float64 {
+	if c.MemCount == 0 {
+		return 0
+	}
+	return float64(c.MemLatencySum) / float64(c.MemCount)
+}
+
+// SharingMix returns the Fig 7 class fractions in order: private-read,
+// read-only, read/write, private-read/write. Fractions sum to 1 when any
+// requests were classified.
+func (c *Counters) SharingMix() [4]float64 {
+	tot := c.PrivateRead + c.ReadOnly + c.ReadWrite + c.PrivateReadWrite
+	if tot == 0 {
+		return [4]float64{}
+	}
+	return [4]float64{
+		float64(c.PrivateRead) / float64(tot),
+		float64(c.ReadOnly) / float64(tot),
+		float64(c.ReadWrite) / float64(tot),
+		float64(c.PrivateReadWrite) / float64(tot),
+	}
+}
+
+// Geomean returns the geometric mean of xs; it returns 0 for an empty slice
+// and panics on non-positive inputs, which indicate a bug upstream.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: non-positive value %v in geomean", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Speedup returns baselineCycles/cycles: >1 means faster than baseline.
+func Speedup(baselineCycles, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(cycles)
+}
+
+// Row is one benchmark's results across schemes, used by report tables.
+type Row struct {
+	Name   string
+	MPKI   float64
+	Values map[string]float64 // scheme -> value (speedup, traffic, ...)
+}
+
+// Table formats rows with a fixed scheme column order plus geomean summary
+// rows for the top-N groups (rows must already be sorted by descending MPKI).
+type Table struct {
+	Title   string
+	Schemes []string
+	Rows    []Row
+}
+
+// SortByMPKI orders rows by descending MPKI, matching the paper's x-axis.
+func (t *Table) SortByMPKI() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i].MPKI > t.Rows[j].MPKI })
+}
+
+// GeomeanTop returns per-scheme geometric means over the first n rows.
+func (t *Table) GeomeanTop(n int) map[string]float64 {
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	out := make(map[string]float64, len(t.Schemes))
+	for _, s := range t.Schemes {
+		vals := make([]float64, 0, n)
+		for _, r := range t.Rows[:n] {
+			if v, ok := r.Values[s]; ok {
+				vals = append(vals, v)
+			}
+		}
+		out[s] = Geomean(vals)
+	}
+	return out
+}
+
+// String renders the table in a fixed-width layout with geomean rows for
+// top-10, top-15 and all benchmarks, mirroring the paper's reporting.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-16s %8s", "benchmark", "MPKI")
+	for _, s := range t.Schemes {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s %8.2f", r.Name, r.MPKI)
+		for _, s := range t.Schemes {
+			fmt.Fprintf(&b, " %14.3f", r.Values[s])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range []int{10, 15, len(t.Rows)} {
+		if n > len(t.Rows) {
+			continue
+		}
+		gm := t.GeomeanTop(n)
+		fmt.Fprintf(&b, "%-16s %8s", fmt.Sprintf("geomean-top%d", n), "")
+		for _, s := range t.Schemes {
+			fmt.Fprintf(&b, " %14.3f", gm[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

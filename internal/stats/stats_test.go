@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean(1,4) = %v, want 2", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil) != 0")
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-positive input")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max, and is scale-equivariant.
+func TestGeomeanProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/16 + 0.5 // in (0, ~16.5]
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		if g < lo-1e-9 || g > hi+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		return math.Abs(Geomean(scaled)-3*g) < 1e-9*math.Max(1, g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(200, 100) != 2 {
+		t.Fatal("Speedup(200,100) != 2")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("Speedup with zero cycles should be 0")
+	}
+}
+
+func TestSharingMixSumsToOne(t *testing.T) {
+	c := Counters{PrivateRead: 10, ReadOnly: 20, ReadWrite: 30, PrivateReadWrite: 40}
+	mix := c.SharingMix()
+	sum := mix[0] + mix[1] + mix[2] + mix[3]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mix sums to %v, want 1", sum)
+	}
+	if mix[3] != 0.4 {
+		t.Fatalf("private-RW fraction = %v, want 0.4", mix[3])
+	}
+	var empty Counters
+	if empty.SharingMix() != [4]float64{} {
+		t.Fatal("empty counters should give zero mix")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	c := Counters{LLCMisses: 50, Ops: 10000}
+	if c.MPKI() != 5 {
+		t.Fatalf("MPKI = %v, want 5", c.MPKI())
+	}
+	var empty Counters
+	if empty.MPKI() != 0 {
+		t.Fatal("MPKI of empty counters should be 0")
+	}
+}
+
+func TestAvgMemLatency(t *testing.T) {
+	c := Counters{MemLatencySum: 1000, MemCount: 10}
+	if c.AvgMemLatency() != 100 {
+		t.Fatalf("AvgMemLatency = %v, want 100", c.AvgMemLatency())
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := Table{
+		Title:   "test",
+		Schemes: []string{"a", "b"},
+	}
+	for i := 0; i < 12; i++ {
+		tab.Rows = append(tab.Rows, Row{
+			Name:   "w" + string(rune('a'+i)),
+			MPKI:   float64(i),
+			Values: map[string]float64{"a": 1.0 + float64(i)/10, "b": 2.0},
+		})
+	}
+	tab.SortByMPKI()
+	if tab.Rows[0].MPKI != 11 {
+		t.Fatalf("not sorted by descending MPKI: first=%v", tab.Rows[0].MPKI)
+	}
+	gm := tab.GeomeanTop(10)
+	if gm["b"] != 2.0 {
+		t.Fatalf("geomean of constant 2.0 = %v", gm["b"])
+	}
+	s := tab.String()
+	if !strings.Contains(s, "geomean-top10") || !strings.Contains(s, "geomean-top12") {
+		t.Fatalf("table output missing geomean rows:\n%s", s)
+	}
+	// GeomeanTop with n beyond length clamps.
+	if _, ok := tab.GeomeanTop(100)["a"]; !ok {
+		t.Fatal("GeomeanTop(100) missing scheme")
+	}
+}

@@ -1,0 +1,231 @@
+// Package trace defines a compact binary trace format for multi-threaded
+// memory-access traces — the role Prism/SynchroTrace files play in the
+// paper's methodology. Traces capture per-thread streams of reads, writes,
+// compute gaps, and barrier synchronization, and can be produced from the
+// synthetic generators (for archiving an exact experiment input) or from
+// any external tool, then replayed through the simulator.
+//
+// Format (little-endian):
+//
+//	header:  magic "DVET" | u16 version | u16 threads | u64 ops
+//	record:  u8 kind | u8 tid | u16 compute | u64 addr
+//
+// Barrier records have kind 2 and no meaningful addr/compute. Records are
+// interleaved in global issue order; replay preserves per-thread order.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+const (
+	magic   = "DVET"
+	version = 1
+)
+
+// Record is one trace event.
+type Record struct {
+	Kind    workload.OpKind
+	Tid     uint8
+	Compute uint16
+	Addr    topology.Addr
+}
+
+// Writer streams records to an underlying writer.
+type Writer struct {
+	w       *bufio.Writer
+	threads int
+	ops     uint64
+	started bool
+}
+
+// NewWriter creates a trace writer for the given thread count. The header
+// is written lazily on the first record (op count is fixed up by Close only
+// for io.WriteSeekers; otherwise it records 0 = unknown).
+func NewWriter(w io.Writer, threads int) *Writer {
+	return &Writer{w: bufio.NewWriter(w), threads: threads}
+}
+
+func (tw *Writer) writeHeader(ops uint64) error {
+	if _, err := tw.w.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(tw.threads))
+	binary.LittleEndian.PutUint64(hdr[4:], ops)
+	_, err := tw.w.Write(hdr[:])
+	return err
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if !tw.started {
+		tw.started = true
+		if err := tw.writeHeader(0); err != nil {
+			return err
+		}
+	}
+	var buf [12]byte
+	buf[0] = byte(r.Kind)
+	buf[1] = r.Tid
+	binary.LittleEndian.PutUint16(buf[2:], r.Compute)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(r.Addr))
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.ops++
+	return nil
+}
+
+// Flush completes the stream.
+func (tw *Writer) Flush() error {
+	if !tw.started {
+		if err := tw.writeHeader(0); err != nil {
+			return err
+		}
+	}
+	return tw.w.Flush()
+}
+
+// Ops returns the number of records written.
+func (tw *Writer) Ops() uint64 { return tw.ops }
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r       *bufio.Reader
+	Threads int
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+12)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	threads := int(binary.LittleEndian.Uint16(head[6:]))
+	if threads == 0 {
+		return nil, fmt.Errorf("trace: zero threads")
+	}
+	return &Reader{r: br, Threads: threads}, nil
+}
+
+// Next returns the next record; io.EOF ends the stream.
+func (tr *Reader) Next() (Record, error) {
+	var buf [12]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	k := workload.OpKind(buf[0])
+	if k > workload.Barrier {
+		return Record{}, fmt.Errorf("trace: invalid record kind %d", buf[0])
+	}
+	return Record{
+		Kind:    k,
+		Tid:     buf[1],
+		Compute: binary.LittleEndian.Uint16(buf[2:]),
+		Addr:    topology.Addr(binary.LittleEndian.Uint64(buf[4:])),
+	}, nil
+}
+
+// Capture materialises ops operations of a synthetic workload into a trace,
+// issuing threads round-robin (the global order replay will preserve).
+func Capture(w io.Writer, spec workload.Spec, ops uint64) error {
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		return err
+	}
+	tw := NewWriter(w, spec.Threads)
+	tid := 0
+	for i := uint64(0); i < ops; i++ {
+		op := gen.Next(tid)
+		comp := op.Compute
+		if comp > 0xFFFF {
+			comp = 0xFFFF
+		}
+		if err := tw.Write(Record{
+			Kind:    op.Kind,
+			Tid:     uint8(tid),
+			Compute: uint16(comp),
+			Addr:    op.Addr,
+		}); err != nil {
+			return err
+		}
+		tid = (tid + 1) % spec.Threads
+	}
+	return tw.Flush()
+}
+
+// Source adapts a fully loaded trace into per-thread streams for the
+// simulator's runner: Next(tid) returns that thread's next operation,
+// cycling when the trace is exhausted (so a short trace can drive a long
+// run, like the paper's ROI looping).
+type Source struct {
+	perThread [][]workload.Op
+	pos       []int
+}
+
+// Load reads an entire trace into a replayable Source.
+func Load(r io.Reader) (*Source, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{
+		perThread: make([][]workload.Op, tr.Threads),
+		pos:       make([]int, tr.Threads),
+	}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if int(rec.Tid) >= tr.Threads {
+			return nil, fmt.Errorf("trace: record tid %d out of range", rec.Tid)
+		}
+		s.perThread[rec.Tid] = append(s.perThread[rec.Tid], workload.Op{
+			Kind:    rec.Kind,
+			Addr:    rec.Addr,
+			Compute: int(rec.Compute),
+		})
+	}
+	for t, ops := range s.perThread {
+		if len(ops) == 0 {
+			return nil, fmt.Errorf("trace: thread %d has no operations", t)
+		}
+	}
+	return s, nil
+}
+
+// Threads returns the trace's thread count.
+func (s *Source) Threads() int { return len(s.perThread) }
+
+// Next returns thread tid's next operation, wrapping at the end.
+func (s *Source) Next(tid int) workload.Op {
+	ops := s.perThread[tid]
+	op := ops[s.pos[tid]]
+	s.pos[tid] = (s.pos[tid] + 1) % len(ops)
+	return op
+}
+
+// Len returns the number of operations recorded for a thread.
+func (s *Source) Len(tid int) int { return len(s.perThread[tid]) }

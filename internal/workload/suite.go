@@ -1,0 +1,84 @@
+package workload
+
+// Suite returns the 20 Table III benchmarks. Parameters are set from the
+// paper's Fig 7 characterisation: the ten benchmarks the paper reports as
+// deny-winners (backprop, graph500, fft, stencil, xsbench, ocean_cp, nw,
+// rsbench, bfs, streamcluster) are read-mostly with large shared read-only
+// working sets; the other ten exhibit the "considerable private read/write
+// behavior (greater than 46%)" that favors the allow protocol.
+func Suite(threads int) []Spec {
+	mk := func(name string, fp int, priv, ro, privW, rwW, loc, reuse, zipf, stride float64, comp int) Spec {
+		return Spec{
+			Name: name, Threads: threads, FootprintMB: fp,
+			PrivFrac: priv, SharedROFrac: ro,
+			PrivWriteFrac: privW, RWWriteFrac: rwW,
+			Locality: loc, Reuse: reuse, ZipfFrac: zipf, StrideFrac: stride, ComputePerOp: comp,
+			BarrierEvery: 50_000,
+			Seed:         hashSeed(name),
+		}
+	}
+	return []Spec{
+		// HPC (assorted) — Monte Carlo cross-section lookups and graph
+		// traversals: huge shared read-only tables, near-random access.
+		mk("backprop", 64, 0.24, 0.70, 0.08, 0.20, 0.25, 0.30, 0.55, 0.20, 1),
+		mk("graph500", 80, 0.18, 0.76, 0.05, 0.20, 0.10, 0.50, 0.60, 0.05, 3),
+		mk("xsbench", 96, 0.14, 0.81, 0.04, 0.15, 0.05, 0.55, 0.60, 0.05, 4),
+		mk("rsbench", 64, 0.22, 0.72, 0.04, 0.15, 0.10, 0.65, 0.55, 0.10, 6),
+		mk("comd", 32, 0.62, 0.30, 0.52, 0.30, 0.55, 0.75, 0.30, 0.10, 4),
+
+		// PARSEC.
+		mk("canneal", 96, 0.60, 0.32, 0.55, 0.40, 0.08, 0.60, 0.50, 0.05, 3),
+		mk("freqmine", 32, 0.58, 0.34, 0.48, 0.30, 0.35, 0.85, 0.40, 0.05, 5),
+		mk("streamcluster", 56, 0.26, 0.66, 0.12, 0.25, 0.55, 0.70, 0.35, 0.20, 4),
+
+		// SPLASH-2x.
+		mk("barnes", 24, 0.55, 0.33, 0.48, 0.35, 0.25, 0.85, 0.40, 0.05, 5),
+		mk("fft", 64, 0.34, 0.58, 0.28, 0.25, 0.70, 0.60, 0.15, 0.50, 3),
+		mk("ocean_cp", 56, 0.34, 0.58, 0.30, 0.25, 0.75, 0.65, 0.10, 0.35, 3),
+
+		// Rodinia.
+		mk("bfs", 56, 0.22, 0.71, 0.08, 0.20, 0.15, 0.70, 0.50, 0.05, 4),
+		mk("nw", 40, 0.30, 0.62, 0.20, 0.25, 0.70, 0.72, 0.15, 0.30, 3),
+
+		// NAS PB.
+		mk("mg", 64, 0.62, 0.30, 0.58, 0.25, 0.75, 0.60, 0.15, 0.25, 3),
+		mk("bt", 48, 0.64, 0.28, 0.54, 0.25, 0.72, 0.70, 0.15, 0.20, 4),
+		mk("sp", 48, 0.64, 0.28, 0.54, 0.25, 0.72, 0.68, 0.15, 0.20, 4),
+		mk("lu", 32, 0.64, 0.28, 0.55, 0.25, 0.70, 0.85, 0.20, 0.25, 5),
+
+		// Parboil.
+		mk("stencil", 64, 0.30, 0.62, 0.26, 0.25, 0.80, 0.55, 0.10, 0.35, 2),
+		mk("histo", 32, 0.50, 0.40, 0.58, 0.40, 0.25, 0.80, 0.45, 0.05, 4),
+
+		// SPEC 2017.
+		mk("lbm", 48, 0.66, 0.26, 0.50, 0.25, 0.82, 0.55, 0.05, 0.10, 3),
+	}
+}
+
+// DenyWinners is the set of benchmarks the paper reports as performing
+// better under the deny-based protocol (Section VII).
+var DenyWinners = map[string]bool{
+	"backprop": true, "graph500": true, "fft": true, "stencil": true,
+	"xsbench": true, "ocean_cp": true, "nw": true, "rsbench": true,
+	"bfs": true, "streamcluster": true,
+}
+
+// ByName returns the suite spec with the given name, or false.
+func ByName(name string, threads int) (Spec, bool) {
+	for _, s := range Suite(threads) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// hashSeed derives a stable per-benchmark seed from its name (FNV-1a).
+func hashSeed(name string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
