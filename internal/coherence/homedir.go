@@ -34,15 +34,30 @@ type HomeDir struct {
 	// reads are funneled to the replica ("the system is placed in a degraded
 	// state with only one working copy", Section V-B2).
 	degraded map[topology.Line]bool
+	// repairFails counts consecutive failed repair-verify re-reads per
+	// line; reaching retireAfterRepairFails triggers page retirement.
+	repairFails map[topology.Line]int
 }
+
+// Escalation-ladder tuning (Section V-B2 operationalised): a detected error
+// is retried locally with doubling backoff (transients often clear), then
+// recovered from the replica, then repaired in place and verified; a line
+// whose repairs keep failing retires its page and degrades to single-copy
+// service.
+const (
+	readRetryMax           = 2  // local re-reads before replica recovery
+	retryBackoffCyc        = 16 // backoff before the first re-read; doubles
+	retireAfterRepairFails = 2  // failed repair-verifies before retirement
+)
 
 func newHomeDir(s *System, socket int) *HomeDir {
 	return &HomeDir{
-		sys:      s,
-		socket:   socket,
-		entries:  make(map[topology.Line]*dirEntry),
-		mshr:     cache.NewMSHR(0),
-		degraded: make(map[topology.Line]bool),
+		sys:         s,
+		socket:      socket,
+		entries:     make(map[topology.Line]*dirEntry),
+		mshr:        cache.NewMSHR(0),
+		degraded:    make(map[topology.Line]bool),
+		repairFails: make(map[topology.Line]int),
 	}
 }
 
@@ -121,54 +136,125 @@ func (d *HomeDir) replicaAgent() ReplicaAgent {
 
 func (d *HomeDir) remoteSocket() int { return (d.socket + 1) % d.sys.Cfg.Sockets }
 
-// readHomeMem reads the line from home memory, transparently recovering via
-// the replica when the local ECC check fails (Section V-B2). cb runs at the
-// home directory when data is available (or the error was logged as DUE).
+// readHomeMem reads the line from home memory, climbing the recovery
+// escalation ladder when the local ECC check fails (Section V-B2): local
+// re-read retries with doubling backoff, then replica recovery, then a
+// repair-write-then-verify, then page retirement when the line keeps
+// failing. cb runs at the home directory when data is available (or the
+// error was logged as DUE).
 func (d *HomeDir) readHomeMem(l topology.Line, cb func()) {
-	a := topology.Addr(l)
 	cnt := d.sys.Cnt
 	cnt.HomeReads++
 	if d.degraded[l] && d.sys.HasReplica(l) {
 		// Already degraded: funnel straight to the single working copy.
+		cnt.DegradedReads++
 		d.readFromReplicaMem(l, func(ok bool) {
 			if !ok {
 				cnt.DetectedUncorrect++
+				d.sys.rasEvent(EvDUE, d.socket, l)
 			}
 			cb()
 		})
 		return
 	}
-	d.sys.MCs[d.socket].Read(a, func(failed bool) {
+	d.sys.MCs[d.socket].Read(topology.Addr(l), func(failed bool) {
 		if !failed {
 			cb()
 			return
 		}
-		if !d.sys.HasReplica(l) {
-			// No second basket: detected but uncorrectable.
-			cnt.DetectedUncorrect++
-			cb()
-			return
-		}
-		// Divert to the replica memory controller for recovery.
-		d.readFromReplicaMem(l, func(ok bool) {
-			if !ok {
-				// Both copies failed: data lost, machine check (DUE).
-				cnt.DetectedUncorrect++
+		d.sys.rasEvent(EvDetect, d.socket, l)
+		d.retryRead(l, 0, retryBackoffCyc, cb)
+	})
+}
+
+// retryRead is ladder rung 1: re-read the home copy up to readRetryMax
+// times with doubling backoff. Transient and intermittent errors often
+// clear here without touching the replica.
+func (d *HomeDir) retryRead(l topology.Line, attempt int, backoff sim.Cycle, cb func()) {
+	cnt := d.sys.Cnt
+	if attempt >= readRetryMax {
+		d.recoverViaReplica(l, cb)
+		return
+	}
+	cnt.RetriedReads++
+	d.sys.rasEvent(EvRetry, d.socket, l)
+	d.sys.Eng.Schedule(backoff, func() {
+		d.sys.MCs[d.socket].Read(topology.Addr(l), func(failed bool) {
+			if !failed {
+				cnt.RetrySuccesses++
+				d.sys.rasEvent(EvRetryOK, d.socket, l)
 				cb()
 				return
 			}
-			cnt.CorrectedErrors++
-			cnt.Recoveries++
-			// Attempt to fix the home copy: write correct data, re-read.
-			d.sys.MCs[d.socket].Write(a, func() {
-				d.sys.MCs[d.socket].Read(a, func(stillBad bool) {
-					if stillBad && !d.degraded[l] {
-						d.degraded[l] = true
-						cnt.DegradedLines++
-					}
-				})
-			})
+			d.retryRead(l, attempt+1, backoff*2, cb)
+		})
+	})
+}
+
+// recoverViaReplica is ladder rung 2: fetch the data from the replica on
+// the other socket, then kick off the in-place repair (rung 3) in the
+// background. Without a replica the error is a DUE.
+func (d *HomeDir) recoverViaReplica(l topology.Line, cb func()) {
+	cnt := d.sys.Cnt
+	if !d.sys.HasReplica(l) {
+		// No second basket: detected but uncorrectable.
+		cnt.DetectedUncorrect++
+		d.sys.rasEvent(EvDUE, d.socket, l)
+		cb()
+		return
+	}
+	d.readFromReplicaMem(l, func(ok bool) {
+		if !ok {
+			// Both copies failed: data lost, machine check (DUE).
+			cnt.DetectedUncorrect++
+			d.sys.rasEvent(EvDUE, d.socket, l)
 			cb()
+			return
+		}
+		cnt.CorrectedErrors++
+		cnt.Recoveries++
+		d.sys.rasEvent(EvRecover, d.socket, l)
+		d.repairHome(l)
+		cb()
+	})
+}
+
+// repairHome is ladder rung 3: write the recovered data over the failed
+// home location and verify with a re-read. Persistent failures climb to
+// rung 4: page retirement via the RMT, and line-level degradation so later
+// reads go straight to the surviving copy. Runs in the background — the
+// demand read has already completed from the replica.
+func (d *HomeDir) repairHome(l topology.Line) {
+	a := topology.Addr(l)
+	cnt := d.sys.Cnt
+	cnt.RepairWrites++
+	d.sys.rasEvent(EvRepair, d.socket, l)
+	d.sys.MCs[d.socket].Write(a, func() {
+		// The write lands known-good data: transient faults clear.
+		d.sys.repairAt(d.socket, a)
+		d.sys.MCs[d.socket].Read(a, func(stillBad bool) {
+			if !stillBad {
+				d.sys.rasEvent(EvRepairOK, d.socket, l)
+				delete(d.repairFails, l)
+				return
+			}
+			cnt.RepairVerifyFails++
+			d.sys.rasEvent(EvRepairFail, d.socket, l)
+			d.repairFails[l]++
+			if d.repairFails[l] < retireAfterRepairFails {
+				return
+			}
+			// Rung 4: the fault hardened. Retire the page and serve the
+			// line from the replica from now on.
+			if d.sys.RetireFn != nil && d.sys.RetireFn(l) {
+				cnt.PagesRetired++
+				d.sys.rasEvent(EvRetire, d.socket, l)
+			}
+			if !d.degraded[l] {
+				d.degraded[l] = true
+				cnt.DegradedLines++
+				d.sys.rasEvent(EvDegraded, d.socket, l)
+			}
 		})
 	})
 }
@@ -206,6 +292,7 @@ func (d *HomeDir) dualWriteback(l topology.Line, undeny bool, done func()) {
 		}
 	}
 	d.sys.MCs[d.socket].Write(topology.Addr(l), part)
+	d.sys.repairAt(d.socket, topology.Addr(l))
 	r := d.remoteSocket()
 	d.sys.Link.Send(d.socket, noc.DataBytes, func() {
 		if undeny {
@@ -214,6 +301,7 @@ func (d *HomeDir) dualWriteback(l topology.Line, undeny bool, done func()) {
 			}
 		}
 		d.sys.MCs[r].Write(ra, part)
+		d.sys.repairAt(r, ra)
 	})
 }
 
@@ -230,10 +318,18 @@ func (d *HomeDir) GETS(src int, l topology.Line, reply func()) {
 		d.classify(false, e.state)
 		deliver := func() {
 			if src == d.socket {
-				d.sys.Eng.Schedule(0, reply)
-			} else {
-				d.sys.Link.Send(d.socket, noc.DataBytes, reply)
+				// Reply synchronously, then release: the requester's LLC
+				// fill must land before the MSHR frees, or an already-
+				// queued same-line transaction runs between release and
+				// fill, probes the LLC pre-fill, and the fill then
+				// resurrects a stale copy (SWMR violation). Remote
+				// requesters are safe without this: the FIFO link orders
+				// their fill ahead of any later probe.
+				reply()
+				release()
+				return
 			}
+			d.sys.Link.Send(d.socket, noc.DataBytes, reply)
 			release()
 		}
 		switch {
@@ -268,7 +364,7 @@ func (d *HomeDir) GETS(src int, l topology.Line, reply func()) {
 							e.owner = -1
 							e.sharers[d.socket] = true
 							e.sharers[owner] = true
-							d.sys.Eng.Schedule(0, reply)
+							reply() // home-socket requester: fill before release
 							release()
 						})
 					})
@@ -283,7 +379,7 @@ func (d *HomeDir) GETS(src int, l topology.Line, reply func()) {
 					d.sys.Link.Send(owner, noc.DataBytes, func() {
 						e.state = cache.Owned
 						e.sharers[d.socket] = true
-						d.sys.Eng.Schedule(0, reply)
+						reply() // home-socket requester: fill before release
 						release()
 					})
 				})
@@ -312,14 +408,18 @@ func (d *HomeDir) GETX(src int, l topology.Line, needData bool, reply func()) {
 
 		deliver := func() {
 			if src == d.socket {
-				d.sys.Eng.Schedule(0, reply)
-			} else {
-				bytes := noc.DataBytes
-				if !needData {
-					bytes = noc.CtrlBytes
-				}
-				d.sys.Link.Send(d.socket, bytes, reply)
+				// Synchronous reply before release — see the GETS deliver
+				// comment: the home LLC's fill must land before the MSHR
+				// frees or a queued same-line transaction probes pre-fill.
+				reply()
+				release()
+				return
 			}
+			bytes := noc.DataBytes
+			if !needData {
+				bytes = noc.CtrlBytes
+			}
+			d.sys.Link.Send(d.socket, bytes, reply)
 			release()
 		}
 
@@ -417,7 +517,7 @@ func (d *HomeDir) GETX(src int, l topology.Line, needData bool, reply func()) {
 					a.HomeFetch(l, true, func() {
 						d.sys.Link.Send(owner, noc.DataBytes, func() {
 							grantTo()
-							d.sys.Eng.Schedule(0, reply)
+							reply() // home-socket requester: fill before release
 							release()
 						})
 					})
@@ -429,7 +529,7 @@ func (d *HomeDir) GETX(src int, l topology.Line, needData bool, reply func()) {
 				d.sys.Eng.Schedule(d.probeLat(), func() {
 					d.sys.Link.Send(owner, noc.DataBytes, func() {
 						grantTo()
-						d.sys.Eng.Schedule(0, reply)
+						reply() // home-socket requester: fill before release
 						release()
 					})
 				})
@@ -535,6 +635,7 @@ func (d *HomeDir) ReplicaGETS(l topology.Line, reply func(dataShipped bool)) {
 	d.seq(l, func(release func()) {
 		e := d.entry(l)
 		r := d.remoteSocket()
+		d.dbg(l, "ReplicaGETS state=%v owner=%d sharers=%v", e.state, e.owner, e.sharers)
 		switch {
 		case e.state == cache.Invalid || e.state == cache.Shared,
 			int(e.owner) == r:
@@ -569,6 +670,7 @@ func (d *HomeDir) ReplicaGETX(l topology.Line, reply func(dataShipped bool)) {
 	d.seq(l, func(release func()) {
 		e := d.entry(l)
 		r := d.remoteSocket()
+		d.dbg(l, "ReplicaGETX state=%v owner=%d sharers=%v", e.state, e.owner, e.sharers)
 		grant := func() {
 			e.state = cache.Modified
 			e.owner = int8(r)
@@ -609,6 +711,7 @@ func (d *HomeDir) ReplicaPUTM(l topology.Line, done func()) {
 	d.seq(l, func(release func()) {
 		e := d.entry(l)
 		r := d.remoteSocket()
+		d.dbg(l, "ReplicaPUTM state=%v owner=%d", e.state, e.owner)
 		if int(e.owner) == r {
 			e.state = cache.Invalid
 			e.owner = -1

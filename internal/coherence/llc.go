@@ -28,7 +28,11 @@ func newLLC(s *System, socket int) *LLC {
 }
 
 // Request services a demand access from a core of this socket after its L1
-// missed. done fires when the LLC can supply the line to the L1.
+// missed. done fires when the LLC can supply the line to the L1. The L1 fill
+// and local-directory bookkeeping are applied at grant time, synchronously
+// with the LLC state change — if they waited for the mesh return trip, a
+// probe arriving in that window would miss the L1 copy and leave it holding
+// a stale writable line (an SWMR violation); done only accounts the latency.
 func (c *LLC) Request(core int, write bool, l topology.Line, done func()) {
 	if c.mshr.Busy(l) {
 		c.mshr.Defer(l, func() { c.Request(core, write, l, done) })
@@ -39,6 +43,7 @@ func (c *LLC) Request(core int, write bool, l topology.Line, done func()) {
 	if e != nil && (!write && e.State.Readable() || write && e.State.Writable()) {
 		c.sys.Cnt.LLCHits++
 		lat += c.localService(core, write, e)
+		c.sys.l1Fill(core, l, write)
 		c.sys.Eng.Schedule(lat, done)
 		return
 	}
@@ -53,6 +58,7 @@ func (c *LLC) Request(core int, write bool, l topology.Line, done func()) {
 		c.sys.Cnt.MemCount++
 		c.sys.Cnt.MissLatency.Add(lat)
 		c.fill(core, write, l)
+		c.sys.l1Fill(core, l, write)
 		done()
 		for _, w := range c.mshr.Release(l) {
 			w()

@@ -33,8 +33,8 @@ func NewScrubber(sys *System, interval sim.Cycle, batch int) *Scrubber {
 	}
 }
 
-// Start arms the patrol daemon; it runs for the lifetime of the simulation
-// without keeping it alive.
+// Start arms the patrol daemon; it runs until Stop (or the end of the
+// simulation) without keeping the run alive.
 func (s *Scrubber) Start() {
 	if s.running {
 		return
@@ -42,6 +42,15 @@ func (s *Scrubber) Start() {
 	s.running = true
 	var tick func()
 	tick = func() {
+		if !s.running {
+			return
+		}
+		// Re-arm before issuing the batch: the next tick is then sequenced
+		// after every event this batch schedules at the same future cycle,
+		// so repairs triggered by this interval's patrol reads are already
+		// applied when the next tick re-reads the same lines (instead of
+		// the next tick racing ahead of them in the event order).
+		s.sys.Eng.ScheduleDaemon(s.interval, tick)
 		for di, d := range s.sys.Dirs {
 			lines := d.KnownLines()
 			if len(lines) == 0 {
@@ -54,10 +63,14 @@ func (s *Scrubber) Start() {
 				d.Scrub(l)
 			}
 		}
-		s.sys.Eng.ScheduleDaemon(s.interval, tick)
 	}
 	s.sys.Eng.ScheduleDaemon(s.interval, tick)
 }
+
+// Stop disarms the patrol daemon: the pending tick becomes a no-op and no
+// further ticks are scheduled. Campaign teardown uses this so a finished
+// run leaves no active patrol behind; Start re-arms.
+func (s *Scrubber) Stop() { s.running = false }
 
 // Scrub re-reads one line through the detection/recovery path. Errors found
 // are corrected from the replica and the home copy repaired, exactly like a

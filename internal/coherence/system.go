@@ -94,7 +94,73 @@ type System struct {
 	// directories.
 	Classify bool
 
+	// RASEvent, when set, observes every recovery-path step (the RAS
+	// journal of package ras subscribes here). Kinds are the Ev* constants.
+	RASEvent func(kind string, socket int, l topology.Line)
+
+	// RepairFn, when set, is invoked whenever the recovery path writes
+	// known-good data over a failed location (demand repair, scrub repair,
+	// replica repair): the fault model clears transient faults covering
+	// the address.
+	RepairFn func(socket int, a topology.Addr)
+
+	// RetireFn, when set, is consulted when a line keeps failing its
+	// repair-verify re-read (the escalation ladder's last rung). It returns
+	// true when the containing page was retired (the RMT remaps it); the
+	// line is placed in the degraded state either way.
+	RetireFn func(l topology.Line) bool
+
+	// mcDead marks sockets whose memory controller was killed mid-run
+	// (KillSocketMemory); lines whose replica lives on a dead socket are
+	// demoted to unreplicated mode.
+	mcDead  []bool
+	anyDead bool
+
 	l1s []*cache.Cache
+}
+
+// RAS event kinds reported through System.RASEvent, in escalation-ladder
+// order. Package ras journals them; the strings are stable output format.
+const (
+	EvDetect     = "detect"      // local ECC check failed on a read
+	EvRetry      = "retry"       // local re-read issued (ladder rung 1)
+	EvRetryOK    = "retry-ok"    // error cleared on a local re-read
+	EvRecover    = "recover"     // data recovered from the replica (rung 2)
+	EvRepair     = "repair"      // repair write of recovered data (rung 3)
+	EvRepairOK   = "repair-ok"   // verify re-read passed: location healed
+	EvRepairFail = "repair-fail" // verify re-read still failing
+	EvRetire     = "retire"      // page retired via the RMT (rung 4)
+	EvDegraded   = "degraded"    // line demoted to single-copy service
+	EvDUE        = "due"         // detected-uncorrectable: no copy readable
+	EvSocketKill = "socket-kill" // memory controller lost
+	EvDemote     = "demote"      // lines lost their replica to a kill
+	EvDrained    = "drained"     // dead socket's replica directory drained
+)
+
+// rasEvent reports a recovery-path step to the attached observer, if any.
+func (s *System) rasEvent(kind string, socket int, l topology.Line) {
+	if s.RASEvent != nil {
+		s.RASEvent(kind, socket, l)
+	}
+}
+
+// repairAt notifies the fault model that known-good data was written over
+// the address (clearing transient faults).
+func (s *System) repairAt(socket int, a topology.Addr) {
+	if s.RepairFn != nil {
+		s.RepairFn(socket, a)
+	}
+}
+
+// RASNote is rasEvent for sibling packages: the Dvé replica directory
+// reports its own recovery-path steps through it.
+func (s *System) RASNote(kind string, socket int, l topology.Line) {
+	s.rasEvent(kind, socket, l)
+}
+
+// RepairNote is repairAt for sibling packages.
+func (s *System) RepairNote(socket int, a topology.Addr) {
+	s.repairAt(socket, a)
 }
 
 // New builds a system for the configuration. Replica agents are attached
@@ -113,6 +179,7 @@ func New(cfg *topology.Config) *System {
 	}
 	s.Cnt.DRAMChannels = cfg.ChannelsPerSkt * cfg.Sockets
 	s.Replicas = make([]ReplicaAgent, cfg.Sockets)
+	s.mcDead = make([]bool, cfg.Sockets)
 	for sk := 0; sk < cfg.Sockets; sk++ {
 		mc := mem.NewController(eng, cfg, amap, sk)
 		if cfg.Protocol == topology.ProtoIntelMirror {
@@ -133,8 +200,25 @@ func New(cfg *topology.Config) *System {
 func (s *System) SetReplicaAgent(socket int, a ReplicaAgent) { s.Replicas[socket] = a }
 
 // ReplicaAddrOf returns the replica address of a line and whether one
-// exists under the active mapping.
+// exists under the active mapping. Lines whose replica lives on a killed
+// memory controller report no replica: they have been demoted to
+// unreplicated mode (graceful degradation).
 func (s *System) ReplicaAddrOf(l topology.Line) (topology.Addr, bool) {
+	ra, ok := s.RawReplicaAddr(l)
+	if !ok {
+		return 0, false
+	}
+	if s.anyDead && s.mcDead[s.AMap.HomeSocket(ra)] {
+		return 0, false
+	}
+	return ra, true
+}
+
+// RawReplicaAddr returns the replica address under the active mapping,
+// ignoring kill-driven demotion. In-flight replica-directory transactions
+// use it so they can complete against a dead controller (whose reads fail
+// and writes are dropped) instead of panicking on a vanished mapping.
+func (s *System) RawReplicaAddr(l topology.Line) (topology.Addr, bool) {
 	if !s.Cfg.Replicated() {
 		return 0, false
 	}
@@ -142,6 +226,61 @@ func (s *System) ReplicaAddrOf(l topology.Line) (topology.Addr, bool) {
 		return s.ReplicaMap.ReplicaAddr(topology.Addr(l))
 	}
 	return s.AMap.ReplicaAddr(topology.Addr(l)), true
+}
+
+// KillSocketMemory models the on-demand loss of one socket's memory
+// controller mid-run (Section V-B2's worst case, Section V-D's on-demand
+// disable). Effects, all without stopping the run:
+//
+//   - every read of the dead controller fails and every write is dropped;
+//   - lines whose replica lived on the dead socket are demoted to
+//     unreplicated mode (single copy, no dual writebacks, no deny pushes);
+//   - lines homed on the dead socket degrade per line through the normal
+//     escalation ladder and are then served from the surviving replica;
+//   - the dead socket's replica directory is drained so in-flight
+//     transactions complete and no new replica reads hit dead memory.
+//
+// done, if non-nil, fires once the drain completes.
+func (s *System) KillSocketMemory(socket int, done func()) {
+	if s.mcDead[socket] {
+		if done != nil {
+			s.Eng.Schedule(0, done)
+		}
+		return
+	}
+	s.MCs[socket].Kill()
+	s.Cnt.SocketKills++
+	s.rasEvent(EvSocketKill, socket, 0)
+
+	// Count the demotions before flipping the flag so RawReplicaAddr and
+	// the pre-kill mapping agree.
+	demoted := uint64(0)
+	for _, d := range s.Dirs {
+		for _, l := range d.lineOrder {
+			if ra, ok := s.RawReplicaAddr(l); ok && s.AMap.HomeSocket(ra) == socket {
+				demoted++
+			}
+		}
+	}
+	s.mcDead[socket] = true
+	s.anyDead = true
+	if demoted > 0 {
+		s.Cnt.DemotedLines += demoted
+		s.rasEvent(EvDemote, socket, 0)
+	}
+
+	if a := s.Replicas[socket]; a != nil {
+		a.Drain(func() {
+			s.rasEvent(EvDrained, socket, 0)
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	if done != nil {
+		s.Eng.Schedule(0, done)
+	}
 }
 
 // HasReplica reports whether the line is replicated.
@@ -185,8 +324,9 @@ func (s *System) Access(core int, write bool, a topology.Addr, done func()) {
 	lat := sim.Cycle(s.Cfg.L1LatencyCyc) + s.coreLatency(core)
 	s.Eng.Schedule(lat, func() {
 		s.LLCs[s.SocketOf(core)].Request(core, write, line, func() {
-			// Fill the L1 and complete after the return trip.
-			s.l1Fill(core, line, write)
+			// The L1 fill was applied at grant time (inside Request, so no
+			// probe can slip between the LLC grant and the L1 bookkeeping);
+			// only the return trip to the core remains.
 			s.Eng.Schedule(s.coreLatency(core), done)
 		})
 	})

@@ -113,7 +113,12 @@ func (rd *ReplicaDir) home() *coherence.HomeDir {
 }
 
 func (rd *ReplicaDir) replicaAddr(l topology.Line) topology.Addr {
-	ra, ok := rd.sys.ReplicaAddrOf(l)
+	// RawReplicaAddr ignores kill-driven demotion: a transaction already in
+	// flight when a socket kill demotes the line still completes against
+	// the dead controller (reads fail, writes are dropped) instead of
+	// finding its mapping vanished. New requests are routed past the
+	// replica directory by the HasReplica guards.
+	ra, ok := rd.sys.RawReplicaAddr(l)
 	if !ok {
 		// Routing guarantees the replica exists; reaching here is a bug.
 		panic("dve: replica directory asked about an unreplicated line")
@@ -146,11 +151,13 @@ func (rd *ReplicaDir) seq(l topology.Line, fn func(release func())) {
 // recovering via the home copy if the local ECC check fails.
 func (rd *ReplicaDir) readReplicaMem(l topology.Line, cb func()) {
 	cnt := rd.sys.Cnt
-	rd.sys.MCs[rd.socket].Read(rd.replicaAddr(l), func(failed bool) {
+	ra := rd.replicaAddr(l)
+	rd.sys.MCs[rd.socket].Read(ra, func(failed bool) {
 		if !failed {
 			cb()
 			return
 		}
+		rd.sys.RASNote(coherence.EvDetect, rd.socket, l)
 		// Divert to the home memory controller (Section V-B2).
 		home := (rd.socket + 1) % rd.sys.Cfg.Sockets
 		rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
@@ -158,11 +165,16 @@ func (rd *ReplicaDir) readReplicaMem(l topology.Line, cb func()) {
 				rd.sys.Link.Send(home, noc.DataBytes, func() {
 					if failed2 {
 						cnt.DetectedUncorrect++
+						rd.sys.RASNote(coherence.EvDUE, rd.socket, l)
 					} else {
 						cnt.CorrectedErrors++
 						cnt.Recoveries++
+						rd.sys.RASNote(coherence.EvRecover, rd.socket, l)
 						// Try to repair the replica copy.
-						rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), func() {})
+						cnt.RepairWrites++
+						rd.sys.RASNote(coherence.EvRepair, rd.socket, l)
+						rd.sys.MCs[rd.socket].Write(ra, func() {})
+						rd.sys.RepairNote(rd.socket, ra)
 					}
 					cb()
 				})
@@ -299,7 +311,6 @@ func (rd *ReplicaDir) allowRegionMiss(l topology.Line, fin func(bool)) {
 
 func (rd *ReplicaDir) denyGETS(l topology.Line, fin func(bool)) {
 	cnt := rd.sys.Cnt
-	st, ok := rd.backing[l]
 	cachedEntry := rd.store.Lookup(l) != nil
 	var entryLat sim.Cycle
 	spec := false
@@ -314,7 +325,6 @@ func (rd *ReplicaDir) denyGETS(l topology.Line, fin func(bool)) {
 			spec = true
 			cnt.SpecIssued++
 		}
-		rd.insertEntry(l, stOrShared(st, ok))
 	}
 	var join *specJoin
 	if spec {
@@ -322,6 +332,16 @@ func (rd *ReplicaDir) denyGETS(l topology.Line, fin func(bool)) {
 		rd.readReplicaMem(l, join.specLanded)
 	}
 	rd.sys.Eng.Schedule(entryLat, func() {
+		// Sample the durable entry when the fetch completes, not when it
+		// issues: a HomeInvalidate can land while the fetch (or the
+		// speculative read) is in flight, and its freshly installed RM
+		// must not be read stale here — nor clobbered with Shared below,
+		// which would let this socket fill a line the home side holds
+		// writable (an SWMR violation).
+		st, ok := rd.backing[l]
+		if !cachedEntry {
+			rd.insertEntry(l, stOrShared(st, ok))
+		}
 		if ok && st == cache.RemoteModified {
 			// Replica is stale: the home LLC holds the line writable.
 			if spec {
@@ -468,7 +488,9 @@ func (rd *ReplicaDir) LocalPUTM(l topology.Line, done func()) {
 				release()
 			}
 		}
-		rd.sys.MCs[rd.socket].Write(rd.replicaAddr(l), part)
+		ra := rd.replicaAddr(l)
+		rd.sys.MCs[rd.socket].Write(ra, part)
+		rd.sys.RepairNote(rd.socket, ra)
 		rd.sys.Link.Send(rd.socket, noc.DataBytes, func() {
 			rd.home().ReplicaPUTM(l, func() {
 				rd.sys.Link.Send((rd.socket+1)%rd.sys.Cfg.Sockets, noc.CtrlBytes, part)

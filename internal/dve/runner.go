@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dve/internal/coherence"
+	"dve/internal/fault"
 	"dve/internal/sim"
 	"dve/internal/stats"
 	"dve/internal/topology"
@@ -24,6 +25,16 @@ type RunConfig struct {
 	// FaultFn, when set, is installed on both memory controllers to inject
 	// detected-uncorrectable local ECC failures.
 	FaultFn func(socket int, a topology.Addr) bool
+	// Faults, when set, wires the full dynamic fault model: ReadFails as
+	// the controllers' fault predicate and Repair as the recovery path's
+	// repair hook, so repair writes actually clear transient faults.
+	// FaultFn, when also set, takes precedence for the predicate.
+	Faults *fault.Set
+	// Prepare, when set, runs after the system (and replica directories)
+	// are built but before any thread issues. RAS engines use it to attach
+	// journal observers and schedule dynamic fault arrivals or socket-kill
+	// events on the simulation engine.
+	Prepare func(sys *coherence.System)
 	// ReplicaMap, when set, replaces the fixed-function mapping with the
 	// flexible RMT: only mapped pages are replicated (Section V-D).
 	ReplicaMap coherence.ReplicaMapper
@@ -119,12 +130,19 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	sys := coherence.New(&cfg)
 	sys.Classify = rc.Classify
 	sys.ReplicaMap = rc.ReplicaMap
-	if rc.FaultFn != nil {
+	faultFn := rc.FaultFn
+	if faultFn == nil && rc.Faults != nil {
+		faultFn = rc.Faults.ReadFails
+	}
+	if faultFn != nil {
 		for s, mc := range sys.MCs {
 			s := s
-			f := rc.FaultFn
+			f := faultFn
 			mc.FaultFn = func(a topology.Addr) bool { return f(s, a) }
 		}
+	}
+	if rc.Faults != nil {
+		sys.RepairFn = rc.Faults.Repair
 	}
 	r := &runner{
 		sys:    sys,
@@ -157,6 +175,9 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		}
 		coherence.NewScrubber(sys, sim.Cycle(rc.ScrubIntervalCyc), batch).Start()
 	}
+	if rc.Prepare != nil {
+		rc.Prepare(sys)
+	}
 	for t := 0; t < r.nthr; t++ {
 		t := t
 		sys.Eng.Schedule(sim.Cycle(t), func() { r.issue(t) })
@@ -183,6 +204,11 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	if r.dynamic != nil {
 		res.Counters.EpochsAllow = r.dynamic.epochsAllow
 		res.Counters.EpochsDeny = r.dynamic.epochsDeny
+	}
+	if rc.Faults != nil {
+		// Absolute over the whole run (not reset at ROI start): any silent
+		// corruption anywhere voids a campaign's zero-SDC assertion.
+		res.Counters.SilentCorruptions = rc.Faults.SilentCorruptions()
 	}
 	return res, nil
 }

@@ -5,10 +5,18 @@
 // plugs into the memory controllers (mem.Controller.FaultFn), which is how
 // injected faults surface in the simulator and exercise Dvé's replica
 // recovery path.
+//
+// Faults are no longer a static pre-run set: Set supports thread-safe
+// add/remove/update keyed by fault ID, so a dynamic injector (package ras)
+// can model the transient → intermittent → hard lifecycle while the
+// simulation runs and the recovery path's repair writes clear transients.
+// See README.md in this directory for the lifecycle and escalation-ladder
+// semantics.
 package fault
 
 import (
 	"fmt"
+	"sync"
 
 	"dve/internal/topology"
 )
@@ -83,6 +91,11 @@ type Fault struct {
 	Addr topology.Addr
 	// Transient faults disappear after the first repair write.
 	Transient bool
+	// DutyPct, when in (0,100), makes the fault intermittent: a covering
+	// read observes the error only DutyPct percent of the time, derived
+	// deterministically from the fault identity and the read sequence
+	// number. 0 (the default) means the fault fires on every covering read.
+	DutyPct uint8
 }
 
 func (f Fault) String() string {
@@ -90,11 +103,32 @@ func (f Fault) String() string {
 		f.Kind, f.Socket, f.Channel, f.Bank, f.Row, f.Chip)
 }
 
-// Set is a collection of active faults over one machine.
+// ID names one injected fault for later removal or escalation.
+type ID uint64
+
+type tracked struct {
+	id ID
+	f  Fault
+}
+
+// Set is a collection of active faults over one machine. All methods are
+// safe for concurrent use; the simulation's hot path (ReadFails) holds the
+// lock briefly and allocates nothing.
 type Set struct {
-	amap   *topology.AddrMap
-	code   LocalCode
-	faults []Fault
+	amap *topology.AddrMap
+	code LocalCode
+
+	mu     sync.Mutex
+	faults []tracked
+	nextID ID
+
+	// readSeq numbers ReadFails calls; intermittent faults key their duty
+	// cycle off it so the flap pattern is deterministic per run.
+	readSeq uint64
+	// silent counts reads where an active fault covered the address but the
+	// local code could not even detect it (CodeNone): the read returned
+	// corrupt data as good — a silent data corruption.
+	silent uint64
 }
 
 // NewSet creates an empty fault set judging reads with the given local code.
@@ -102,31 +136,98 @@ func NewSet(cfg *topology.Config, code LocalCode) *Set {
 	return &Set{amap: topology.NewAddrMap(cfg), code: code}
 }
 
-// Inject adds a fault.
-func (s *Set) Inject(f Fault) { s.faults = append(s.faults, f) }
+// Inject adds a fault (see Add for the ID-returning form).
+func (s *Set) Inject(f Fault) { s.Add(f) }
+
+// Add injects a fault and returns its ID for later Remove/Update.
+func (s *Set) Add(f Fault) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.faults = append(s.faults, tracked{id: s.nextID, f: f})
+	return s.nextID
+}
+
+// Remove expires the fault with the given ID; it reports whether the fault
+// was still active (a repair may have cleared it first).
+func (s *Set) Remove(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.faults {
+		if s.faults[i].id == id {
+			s.faults = append(s.faults[:i], s.faults[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Update replaces the fault with the given ID (the injector's lifecycle
+// escalation: transient → intermittent → hard). It reports whether the
+// fault was still active.
+func (s *Set) Update(id ID, f Fault) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.faults {
+		if s.faults[i].id == id {
+			s.faults[i].f = f
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the fault with the given ID, if still active.
+func (s *Set) Get(id ID) (Fault, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.faults {
+		if s.faults[i].id == id {
+			return s.faults[i].f, true
+		}
+	}
+	return Fault{}, false
+}
 
 // Active returns the current number of faults.
-func (s *Set) Active() int { return len(s.faults) }
+func (s *Set) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.faults)
+}
+
+// SilentCorruptions returns how many reads consumed corrupt data without
+// the local code detecting it (possible only under CodeNone).
+func (s *Set) SilentCorruptions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.silent
+}
 
 // Repair removes transient faults covering the address (models the
-// write-then-reread repair of Section V-B2); hard faults stay.
+// write-then-reread repair of Section V-B2); intermittent and hard faults
+// stay.
 func (s *Set) Repair(socket int, a topology.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	co := s.amap.Decode(a)
+	line := s.amap.LineOf(a)
 	kept := s.faults[:0]
-	for _, f := range s.faults {
-		if f.Transient && s.covers(f, socket, a) {
+	for _, t := range s.faults {
+		if t.f.Transient && s.covers(&t.f, socket, co, line) {
 			continue
 		}
-		kept = append(kept, f)
+		kept = append(kept, t)
 	}
 	s.faults = kept
 }
 
-// covers reports whether fault f affects the address on the socket.
-func (s *Set) covers(f Fault, socket int, a topology.Addr) bool {
+// covers reports whether fault f affects the given pre-decoded address on
+// the socket.
+func (s *Set) covers(f *Fault, socket int, co topology.DRAMCoord, line topology.Line) bool {
 	if f.Socket != socket {
 		return false
 	}
-	co := s.amap.Decode(a)
 	switch f.Kind {
 	case Controller:
 		return true
@@ -143,43 +244,68 @@ func (s *Set) covers(f Fault, socket int, a topology.Addr) bool {
 		// of the channel is touched by the chip.
 		return f.Channel == co.Channel
 	case Cell, Column:
-		return s.amap.LineOf(f.Addr) == s.amap.LineOf(a)
+		return s.amap.LineOf(f.Addr) == line
 	}
 	return false
 }
 
-// chipFaultsOn counts distinct failed chips covering the address's channel.
-func (s *Set) chipFaultsOn(socket, channel int) int {
-	chips := map[int]bool{}
-	for _, f := range s.faults {
-		if f.Kind == Chip && f.Socket == socket && f.Channel == channel {
-			chips[f.Chip] = true
-		}
+// fires reports whether a covering fault is observed by this particular
+// read: hard and transient faults always fire; intermittent faults fire on
+// DutyPct percent of reads, chosen by a deterministic hash of the fault ID
+// and the read sequence number.
+func fires(t *tracked, seq uint64) bool {
+	if t.f.DutyPct == 0 || t.f.DutyPct >= 100 {
+		return true
 	}
-	return len(chips)
+	return mix(uint64(t.id)*0x9e3779b97f4a7c15+seq)%100 < uint64(t.f.DutyPct)
+}
+
+// mix is a splitmix64 finalizer: a cheap, stateless, well-distributed hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // ReadFails reports whether a read of the address fails the local ECC check
 // — i.e. the local code detects an error it cannot correct, requiring
 // recovery from the replica. (Errors the local code corrects silently, and
-// faults invisible to CodeNone, return false.)
+// faults invisible to CodeNone, return false.) This is the hot path for
+// every DRAM access while faults are active: it performs no allocation.
 func (s *Set) ReadFails(socket int, a topology.Addr) bool {
-	var covering []Fault
-	for _, f := range s.faults {
-		if s.covers(f, socket, a) {
-			covering = append(covering, f)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readSeq++
+	if len(s.faults) == 0 {
+		return false
+	}
+	co := s.amap.Decode(a)
+	line := s.amap.LineOf(a)
+	n := 0
+	var first Kind
+	for i := range s.faults {
+		t := &s.faults[i]
+		if s.covers(&t.f, socket, co, line) && fires(t, s.readSeq) {
+			if n == 0 {
+				first = t.f.Kind
+			}
+			n++
 		}
 	}
-	if len(covering) == 0 {
+	if n == 0 {
 		return false
 	}
 	switch s.code {
 	case CodeNone:
 		// Nothing is ever *detected* — corruption is silent.
+		s.silent++
 		return false
 	case CodeSECDED:
 		// Only a single cell fault is correctable.
-		if len(covering) == 1 && covering[0].Kind == Cell {
+		if n == 1 && first == Cell {
 			return false
 		}
 		return true
@@ -187,10 +313,9 @@ func (s *Set) ReadFails(socket int, a topology.Addr) bool {
 		// One failed chip per rank is correctable; so is a single cell,
 		// row, column or bank fault (all within one chip's blast radius or
 		// a single symbol per word).
-		if len(covering) == 1 {
-			switch covering[0].Kind {
+		if n == 1 {
+			switch first {
 			case Cell, Column, Row, Bank, Chip:
-				co := s.amap.Decode(a)
 				return s.chipFaultsOn(socket, co.Channel) > 1
 			}
 		}
@@ -201,6 +326,25 @@ func (s *Set) ReadFails(socket int, a topology.Addr) bool {
 		return true
 	}
 	return true
+}
+
+// chipFaultsOn counts distinct failed chips covering the address's channel.
+// Chips are tracked in a bitset (no allocation); chip indices alias mod 64,
+// which is far beyond any real per-channel chip count.
+func (s *Set) chipFaultsOn(socket, channel int) int {
+	var bits uint64
+	n := 0
+	for i := range s.faults {
+		f := &s.faults[i].f
+		if f.Kind == Chip && f.Socket == socket && f.Channel == channel {
+			b := uint64(1) << (uint(f.Chip) % 64)
+			if bits&b == 0 {
+				bits |= b
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Predicate returns a closure suitable for mem.Controller.FaultFn.

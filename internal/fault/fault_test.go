@@ -195,3 +195,119 @@ func TestMonteCarloChipkill(t *testing.T) {
 		t.Fatal("single-chip trials must have zero miss rate")
 	}
 }
+
+func TestAddRemoveUpdateLifecycle(t *testing.T) {
+	s, _ := newSet(CodeTSD)
+	id := s.Add(Fault{Kind: Cell, Socket: 0, Addr: 64, Transient: true})
+	if !s.ReadFails(0, 64) {
+		t.Fatal("added fault not observed")
+	}
+	// Escalate to intermittent, then to hard.
+	if !s.Update(id, Fault{Kind: Cell, Socket: 0, Addr: 64, DutyPct: 50}) {
+		t.Fatal("Update lost the fault")
+	}
+	if f, ok := s.Get(id); !ok || f.DutyPct != 50 {
+		t.Fatalf("Get after Update = %+v, %v", f, ok)
+	}
+	// A repair write must NOT clear the (non-transient) intermittent fault.
+	s.Repair(0, 64)
+	if s.Active() != 1 {
+		t.Fatal("repair removed an intermittent fault")
+	}
+	if !s.Remove(id) {
+		t.Fatal("Remove lost the fault")
+	}
+	if s.Remove(id) {
+		t.Fatal("double Remove succeeded")
+	}
+	if s.Active() != 0 || s.ReadFails(0, 64) {
+		t.Fatal("fault survived Remove")
+	}
+}
+
+func TestIntermittentDutyCycleDeterministic(t *testing.T) {
+	observe := func() (fails int, pattern []bool) {
+		s, _ := newSet(CodeTSD)
+		s.Add(Fault{Kind: Cell, Socket: 0, Addr: 64, DutyPct: 30})
+		for i := 0; i < 1000; i++ {
+			f := s.ReadFails(0, 64)
+			pattern = append(pattern, f)
+			if f {
+				fails++
+			}
+		}
+		return
+	}
+	fails, p1 := observe()
+	// ~30% of reads observe the fault; allow wide tolerance, but it must
+	// neither always fire nor never fire.
+	if fails < 150 || fails > 450 {
+		t.Fatalf("duty 30%%: %d/1000 reads failed", fails)
+	}
+	// The flap pattern is a pure function of (fault ID, read sequence):
+	// a fresh identical set reproduces it bit for bit.
+	_, p2 := observe()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("intermittent pattern diverged at read %d", i)
+		}
+	}
+}
+
+func TestCodeNoneCountsSilentCorruptions(t *testing.T) {
+	s, _ := newSet(CodeNone)
+	s.Inject(Fault{Kind: Controller, Socket: 0})
+	for i := 0; i < 5; i++ {
+		if s.ReadFails(0, topology.Addr(i*64)) {
+			t.Fatal("CodeNone detected a fault")
+		}
+	}
+	s.ReadFails(1, 0) // other socket: clean
+	if got := s.SilentCorruptions(); got != 5 {
+		t.Fatalf("SilentCorruptions = %d, want 5", got)
+	}
+}
+
+func TestReadFailsDoesNotAllocate(t *testing.T) {
+	s, _ := newSet(CodeTSD)
+	for i := 0; i < 64; i++ {
+		s.Add(Fault{Kind: Cell, Socket: 0, Addr: topology.Addr(i * 64)})
+	}
+	s.Add(Fault{Kind: Chip, Socket: 0, Channel: 0, Chip: 2})
+	avg := testing.AllocsPerRun(200, func() {
+		s.ReadFails(0, 64)
+		s.ReadFails(0, 1<<20)
+	})
+	if avg != 0 {
+		t.Fatalf("ReadFails allocates %.1f objects per call pair, want 0", avg)
+	}
+}
+
+func TestConcurrentInjectionAndReads(t *testing.T) {
+	// Exercised under -race: a scrubber goroutine repairing while an
+	// injector adds/escalates/removes must not race.
+	s, _ := newSet(CodeTSD)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			id := s.Add(Fault{Kind: Cell, Socket: 0,
+				Addr: topology.Addr(i % 32 * 64), Transient: i%2 == 0})
+			if i%3 == 0 {
+				s.Update(id, Fault{Kind: Cell, Socket: 0,
+					Addr: topology.Addr(i % 32 * 64), DutyPct: 40})
+			}
+			if i%2 == 1 {
+				s.Remove(id)
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		s.ReadFails(0, topology.Addr(i%64*64))
+		if i%7 == 0 {
+			s.Repair(0, topology.Addr(i%32*64))
+		}
+	}
+	<-done
+	s.Active()
+}

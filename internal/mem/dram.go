@@ -53,6 +53,10 @@ type Controller struct {
 	refreshTicks uint64
 	hammer       []map[uint64]uint32
 
+	// dead marks a killed controller (socket-level RAS event): every read
+	// fails its ECC check and writes are acknowledged but dropped.
+	dead bool
+
 	// Stats.
 	Reads, Writes      uint64
 	RowHits, RowMisses uint64
@@ -60,7 +64,17 @@ type Controller struct {
 	BusyCycles         uint64
 	Refreshes          uint64
 	HammeredRows       uint64
+	DeadReads          uint64
+	DroppedWrites      uint64
 }
+
+// Kill marks the controller dead: subsequent reads fail their local ECC
+// check unconditionally and writes complete without landing, modeling the
+// loss of a whole memory controller (the largest blast radius of Fig 2).
+func (mc *Controller) Kill() { mc.dead = true }
+
+// Dead reports whether the controller has been killed.
+func (mc *Controller) Dead() bool { return mc.dead }
 
 // NewController builds the memory controller for a socket.
 func NewController(eng *sim.Engine, cfg *topology.Config, amap *topology.AddrMap, socket int) *Controller {
@@ -131,6 +145,14 @@ func (mc *Controller) access(chIdx int, co topology.DRAMCoord, isWrite bool) sim
 // check detected an error it cannot correct, so the caller must recover via
 // the replica.
 func (mc *Controller) Read(a topology.Addr, fn func(failed bool)) {
+	if mc.dead {
+		// A dead controller answers with an error after the CAS latency; no
+		// bank or bus is occupied.
+		mc.DeadReads++
+		mc.FailedReads++
+		mc.eng.Schedule(mc.tCL, func() { fn(true) })
+		return
+	}
 	co := mc.amap.Decode(a)
 	ch := co.Channel
 	if mc.Mirror {
@@ -169,6 +191,11 @@ func (mc *Controller) pickMirrorChannel(co topology.DRAMCoord) int {
 // Write issues a DRAM write and invokes fn at completion. In mirror mode the
 // write is performed on both channels and completes when both finish.
 func (mc *Controller) Write(a topology.Addr, fn func()) {
+	if mc.dead {
+		mc.DroppedWrites++
+		mc.eng.Schedule(mc.tCL, fn)
+		return
+	}
 	co := mc.amap.Decode(a)
 	if mc.Mirror && len(mc.channels) >= 2 {
 		d0 := mc.access(0, co, true)

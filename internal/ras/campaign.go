@@ -1,0 +1,287 @@
+package ras
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dve/internal/dve"
+	"dve/internal/fault"
+	"dve/internal/stats"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+// Scenario is one column of a RAS campaign: a workload under one protection
+// configuration with one fault story (dynamic arrivals, static plants, a
+// mid-run socket kill, or combinations).
+type Scenario struct {
+	Name     string
+	Workload string
+	Protocol topology.Protocol
+	// Code is the local detection code; the zero value selects CodeTSD
+	// (Dvé's strengthened detection — CodeNone would turn every covering
+	// fault into an SDC, which campaigns exist to rule out).
+	Code fault.LocalCode
+	// Inject arms the dynamic fault injector (its Seed field is overridden
+	// per run from the campaign seed).
+	Inject *InjectorConfig
+	// Static faults are planted before the run starts.
+	Static []fault.Fault
+	// KillAtCyc > 0 kills KillSocket's memory controller at that cycle.
+	KillSocket int
+	KillAtCyc  uint64
+	// Scrubbing (0 = off) drives background repair of latent faults.
+	ScrubIntervalCyc uint64
+	ScrubBatch       int
+	// AllowDUE marks scenarios where the Section IV reliability model
+	// permits data loss (no replica, or coincident failures within a scrub
+	// interval); the campaign then tolerates DetectedUncorrect > 0 but
+	// still demands zero SDC.
+	AllowDUE bool
+}
+
+func (sc *Scenario) code() fault.LocalCode {
+	if sc.Code == fault.CodeNone {
+		return fault.CodeTSD
+	}
+	return sc.Code
+}
+
+// CampaignConfig sweeps Scenarios × Seeds.
+type CampaignConfig struct {
+	Seeds      []int64
+	MeasureOps uint64
+	Scenarios  []Scenario
+	// OutDir, when non-empty, receives one JSON RAS journal per run,
+	// named <scenario>-seed<seed>.json.
+	OutDir string
+	// Progress, when set, observes each completed run (CLI reporting).
+	Progress func(r RunReport)
+}
+
+// RunReport is one run's outcome and its checked assertions.
+type RunReport struct {
+	Scenario string
+	Seed     int64
+	Cycles   uint64
+	Counters stats.Counters
+	// Journal is the run's full RAS event history.
+	Journal *Journal
+	// JournalPath is where the JSON journal was written ("" if no OutDir).
+	JournalPath string
+	// Violations lists failed campaign assertions; empty means the run
+	// passed (zero SDC, zero invariant violations, DUEs only when the
+	// model permits, kill scenarios degraded and finished).
+	Violations []string
+}
+
+// OK reports whether the run passed every assertion.
+func (r *RunReport) OK() bool { return len(r.Violations) == 0 }
+
+// CampaignResult aggregates a sweep.
+type CampaignResult struct {
+	Runs     []RunReport
+	Failures int
+}
+
+// RunCampaign executes every scenario under every seed, sequentially (the
+// runs themselves are deterministic; sequential execution keeps the journal
+// files and report order deterministic too).
+func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
+	if cc.MeasureOps == 0 {
+		cc.MeasureOps = 50_000
+	}
+	if len(cc.Seeds) == 0 {
+		cc.Seeds = []int64{1}
+	}
+	if cc.OutDir != "" {
+		if err := os.MkdirAll(cc.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	out := &CampaignResult{}
+	for si := range cc.Scenarios {
+		for _, seed := range cc.Seeds {
+			rep, err := runOne(&cc, &cc.Scenarios[si], si, seed)
+			if err != nil {
+				return nil, fmt.Errorf("ras: scenario %q seed %d: %w",
+					cc.Scenarios[si].Name, seed, err)
+			}
+			if !rep.OK() {
+				out.Failures++
+			}
+			if cc.Progress != nil {
+				cc.Progress(*rep)
+			}
+			out.Runs = append(out.Runs, *rep)
+		}
+	}
+	return out, nil
+}
+
+// runOne builds and executes a single scenario×seed cell.
+func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*RunReport, error) {
+	cfg := topology.Default(sc.Protocol)
+	spec, ok := workload.ByName(sc.Workload, cfg.TotalCores())
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", sc.Workload)
+	}
+	// The campaign seed fully determines the run: it reseeds the workload
+	// generator and (salted with the scenario index) the fault injector.
+	spec.Seed = seed
+
+	set := fault.NewSet(&cfg, sc.code())
+	ec := EngineConfig{Static: sc.Static, KillSocket: -1}
+	if sc.Inject != nil {
+		ic := *sc.Inject
+		ic.Seed = seed*1_000_003 + int64(scenarioIdx)
+		ec.Inject = &ic
+	}
+	if sc.KillAtCyc > 0 {
+		ec.KillSocket = sc.KillSocket
+		ec.KillAtCyc = sc.KillAtCyc
+	}
+	eng := NewEngine(ec, set)
+
+	res, err := dve.Run(spec, dve.RunConfig{
+		Cfg:              cfg,
+		MeasureOps:       cc.MeasureOps,
+		Faults:           set,
+		Prepare:          eng.Attach,
+		ScrubIntervalCyc: sc.ScrubIntervalCyc,
+		ScrubBatch:       sc.ScrubBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RunReport{
+		Scenario: sc.Name,
+		Seed:     seed,
+		Cycles:   res.Cycles,
+		Counters: res.Counters,
+		Journal:  &eng.Journal,
+	}
+	c := &res.Counters
+	if c.SilentCorruptions > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("silent data corruption: %d reads consumed bad data", c.SilentCorruptions))
+	}
+	for _, v := range res.InvariantViolations {
+		rep.Violations = append(rep.Violations, "coherence invariant: "+v)
+	}
+	if !sc.AllowDUE && c.DetectedUncorrect > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("%d DUEs in a scenario the reliability model says is recoverable", c.DetectedUncorrect))
+	}
+	if sc.KillAtCyc > 0 {
+		if c.SocketKills == 0 {
+			rep.Violations = append(rep.Violations, "socket kill never fired")
+		}
+		if c.DemotedLines == 0 && c.DegradedReads == 0 && c.DegradedLines == 0 {
+			rep.Violations = append(rep.Violations, "socket kill caused no degradation")
+		}
+		if res.Cycles == 0 {
+			rep.Violations = append(rep.Violations, "run did not finish its ROI after the kill")
+		}
+	}
+
+	if cc.OutDir != "" {
+		b, err := eng.Journal.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		rep.JournalPath = filepath.Join(cc.OutDir,
+			fmt.Sprintf("%s-seed%d.json", sc.Name, seed))
+		if err := os.WriteFile(rep.JournalPath, b, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// DefaultScenarios is the standard campaign matrix: the full fault
+// lifecycle (transient storms, intermittent flapping, hardening), static
+// plants, socket kills alone and under fire, and a baseline control where
+// DUEs are the expected outcome. Seven scenarios × three seeds clears the
+// twenty-run acceptance floor.
+func DefaultScenarios() []Scenario {
+	return []Scenario{
+		{
+			// A burst of transients under scrubbing: the patrol + repair
+			// path should clear every fault with zero DUEs.
+			Name: "transient-storm", Workload: "fft", Protocol: topology.ProtoDeny,
+			Inject: &InjectorConfig{
+				MeanArrivalCyc: 3_000, MaxFaults: 40,
+				Kinds:            []fault.Kind{fault.Cell, fault.Row},
+				TransientLifeCyc: 200_000, HardenPct: 0,
+			},
+			ScrubIntervalCyc: 2_000, ScrubBatch: 16,
+		},
+		{
+			// Faults that survive to flap at a 40% duty cycle before
+			// expiring: retries and replica recovery absorb the flapping.
+			Name: "intermittent-flap", Workload: "graph500", Protocol: topology.ProtoDeny,
+			Inject: &InjectorConfig{
+				MeanArrivalCyc: 5_000, MaxFaults: 25,
+				Kinds:            []fault.Kind{fault.Cell},
+				TransientLifeCyc: 10_000, IntermittentLifeCyc: 60_000,
+				DutyPct: 40, HardenPct: 60,
+			},
+		},
+		{
+			// Every fault hardens: the ladder must walk lines all the way
+			// to retirement and degraded single-copy service.
+			Name: "hardening", Workload: "backprop", Protocol: topology.ProtoDeny,
+			Inject: &InjectorConfig{
+				MeanArrivalCyc: 8_000, MaxFaults: 12,
+				Kinds:            []fault.Kind{fault.Cell, fault.Row},
+				TransientLifeCyc: 5_000, IntermittentLifeCyc: 10_000,
+				DutyPct: 70, HardenPct: 100,
+			},
+		},
+		{
+			// A dead chip from cycle zero — the classic chipkill-class
+			// event Dvé recovers from via the replica (Section III).
+			Name: "static-chip", Workload: "stencil", Protocol: topology.ProtoDeny,
+			Static: []fault.Fault{
+				{Kind: fault.Chip, Socket: 0, Channel: 0, Chip: 2},
+			},
+		},
+		{
+			// Mid-run loss of socket 1's memory controller with no other
+			// faults: every line demotes or degrades to single-copy
+			// service, the ROI still completes, and no DUE is permitted
+			// because the surviving copies are all intact.
+			Name: "socket-kill", Workload: "ocean_cp", Protocol: topology.ProtoDeny,
+			KillSocket: 1, KillAtCyc: 5_000,
+		},
+		{
+			// Kill under fire: a controller dies while faults are still
+			// arriving on the surviving copies. Coincident failures are
+			// exactly where the Section IV model permits DUEs — but SDCs
+			// remain forbidden.
+			Name: "kill-under-fire", Workload: "bfs", Protocol: topology.ProtoDeny,
+			Inject: &InjectorConfig{
+				MeanArrivalCyc: 4_000, MaxFaults: 20,
+				Kinds:            []fault.Kind{fault.Cell, fault.Row},
+				TransientLifeCyc: 8_000, IntermittentLifeCyc: 20_000,
+				DutyPct: 60, HardenPct: 50,
+			},
+			KillSocket: 0, KillAtCyc: 8_000,
+			AllowDUE: true,
+		},
+		{
+			// Control: the unreplicated baseline under a hard chip fault.
+			// Detection works but there is no second copy, so DUEs are the
+			// expected (and model-permitted) outcome — while SDC must
+			// still be zero because TSD detects what it cannot correct.
+			Name: "baseline-due", Workload: "nw", Protocol: topology.ProtoBaseline,
+			Static: []fault.Fault{
+				{Kind: fault.Chip, Socket: 0, Channel: 0, Chip: 1},
+			},
+			AllowDUE: true,
+		},
+	}
+}

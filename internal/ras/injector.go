@@ -1,0 +1,200 @@
+package ras
+
+import (
+	"math/rand"
+
+	"dve/internal/fault"
+	"dve/internal/sim"
+	"dve/internal/topology"
+)
+
+// InjectorConfig shapes the dynamic fault arrival process. Arrivals are a
+// seeded Poisson-like process on the simulation engine (exponential
+// inter-arrival times with the given mean), so a run's fault history is a
+// deterministic function of the seed.
+type InjectorConfig struct {
+	// Seed drives the arrival process, fault placement, and lifecycle coin
+	// flips. Campaigns derive it from the run seed so every scenario×seed
+	// cell has an independent but reproducible fault history.
+	Seed int64
+	// MeanArrivalCyc is the mean inter-arrival time between faults.
+	MeanArrivalCyc uint64
+	// MaxFaults caps total arrivals (0 = unlimited until the run ends).
+	MaxFaults int
+	// Kinds are the fault granularities to draw from (uniformly). Empty
+	// defaults to {Cell}.
+	Kinds []fault.Kind
+	// AddrSpace bounds the byte addresses faults land on; it should cover
+	// the workload's footprint so faults actually intersect reads. 0
+	// defaults to 1 MiB.
+	AddrSpace uint64
+	// TransientLifeCyc is how long a fault stays in its transient phase
+	// before the lifecycle decides its fate (repair writes may clear it
+	// sooner). 0 defaults to 4 * MeanArrivalCyc.
+	TransientLifeCyc uint64
+	// IntermittentLifeCyc is how long an escalated fault flaps before the
+	// lifecycle decides between hardening and expiry. 0 defaults to
+	// TransientLifeCyc.
+	IntermittentLifeCyc uint64
+	// DutyPct is the intermittent phase's duty cycle (percent of covering
+	// reads that observe the error). 0 defaults to 50.
+	DutyPct uint8
+	// HardenPct is the probability (percent) that a surviving fault
+	// escalates at each lifecycle decision instead of expiring:
+	// transient → intermittent, then intermittent → hard.
+	HardenPct int
+}
+
+func (c InjectorConfig) withDefaults() InjectorConfig {
+	if c.MeanArrivalCyc == 0 {
+		c.MeanArrivalCyc = 50_000
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []fault.Kind{fault.Cell}
+	}
+	if c.AddrSpace == 0 {
+		c.AddrSpace = 1 << 20
+	}
+	if c.TransientLifeCyc == 0 {
+		c.TransientLifeCyc = 4 * c.MeanArrivalCyc
+	}
+	if c.IntermittentLifeCyc == 0 {
+		c.IntermittentLifeCyc = c.TransientLifeCyc
+	}
+	if c.DutyPct == 0 {
+		c.DutyPct = 50
+	}
+	return c
+}
+
+// Injector injects faults while the simulation runs and walks each one
+// through the transient → intermittent → hard lifecycle. All activity runs
+// as engine daemons: the injector never keeps the run alive past the
+// workload's last demand event.
+type Injector struct {
+	cfg  InjectorConfig
+	eng  *sim.Engine
+	set  *fault.Set
+	amap *topology.AddrMap
+	tcfg *topology.Config
+	rng  *rand.Rand
+	note func(Event)
+
+	// Injected counts arrivals; Escalated transient→intermittent
+	// promotions; Hardened intermittent→hard promotions; Expired faults
+	// that went away at a lifecycle decision point.
+	Injected, Escalated, Hardened, Expired int
+}
+
+// NewInjector builds an injector over the simulation engine and fault set;
+// note observes every lifecycle event (the RAS journal).
+func NewInjector(cfg InjectorConfig, eng *sim.Engine, set *fault.Set,
+	tcfg *topology.Config, note func(Event)) *Injector {
+	return &Injector{
+		cfg:  cfg.withDefaults(),
+		eng:  eng,
+		set:  set,
+		amap: topology.NewAddrMap(tcfg),
+		tcfg: tcfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		note: note,
+	}
+}
+
+// Start arms the arrival daemon.
+func (in *Injector) Start() { in.eng.ScheduleDaemon(in.nextDelay(), in.arrive) }
+
+// nextDelay draws an exponential inter-arrival time (at least 1 cycle).
+func (in *Injector) nextDelay() sim.Cycle {
+	d := sim.Cycle(in.rng.ExpFloat64() * float64(in.cfg.MeanArrivalCyc))
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// arrive injects one fault and schedules its lifecycle and the next arrival.
+func (in *Injector) arrive() {
+	if in.cfg.MaxFaults > 0 && in.Injected >= in.cfg.MaxFaults {
+		return
+	}
+	f := in.place()
+	id := in.set.Add(f)
+	in.Injected++
+	in.journal(EvInject, f)
+	in.eng.ScheduleDaemon(sim.Cycle(in.cfg.TransientLifeCyc), func() { in.decideTransient(id) })
+	in.eng.ScheduleDaemon(in.nextDelay(), in.arrive)
+}
+
+// place draws a fault: a random kind at a random address, transient at birth.
+// Coarser kinds (row/bank/channel/...) take their coordinates from the drawn
+// address's DRAM decode, so they always intersect the workload's footprint.
+func (in *Injector) place() fault.Fault {
+	kind := in.cfg.Kinds[in.rng.Intn(len(in.cfg.Kinds))]
+	a := topology.Addr(uint64(in.rng.Int63n(int64(in.cfg.AddrSpace))) &^ uint64(in.tcfg.LineSizeBytes-1))
+	co := in.amap.Decode(a)
+	return fault.Fault{
+		Kind:      kind,
+		Socket:    in.amap.HomeSocket(a),
+		Channel:   co.Channel,
+		Bank:      co.Bank,
+		Row:       co.Row,
+		Chip:      in.rng.Intn(8),
+		Addr:      a,
+		Transient: true,
+	}
+}
+
+// decideTransient ends a fault's transient phase: if a repair write already
+// cleared it, nothing happens; otherwise it either escalates to intermittent
+// or expires on its own.
+func (in *Injector) decideTransient(id fault.ID) {
+	f, ok := in.set.Get(id)
+	if !ok {
+		return // repaired away
+	}
+	if in.rng.Intn(100) < in.cfg.HardenPct {
+		f.Transient = false
+		f.DutyPct = in.cfg.DutyPct
+		in.set.Update(id, f)
+		in.Escalated++
+		in.journal(EvEscalate, f)
+		in.eng.ScheduleDaemon(sim.Cycle(in.cfg.IntermittentLifeCyc), func() { in.decideIntermittent(id) })
+		return
+	}
+	in.set.Remove(id)
+	in.Expired++
+	in.journal(EvExpire, f)
+}
+
+// decideIntermittent ends the intermittent phase: harden to a permanent
+// fault (fires on every covering read) or expire.
+func (in *Injector) decideIntermittent(id fault.ID) {
+	f, ok := in.set.Get(id)
+	if !ok {
+		return
+	}
+	if in.rng.Intn(100) < in.cfg.HardenPct {
+		f.DutyPct = 0 // always fires
+		in.set.Update(id, f)
+		in.Hardened++
+		in.journal(EvHarden, f)
+		return
+	}
+	in.set.Remove(id)
+	in.Expired++
+	in.journal(EvExpire, f)
+}
+
+func (in *Injector) journal(kind string, f fault.Fault) {
+	if in.note == nil {
+		return
+	}
+	in.note(Event{
+		Cycle:  uint64(in.eng.Now()),
+		Kind:   kind,
+		Socket: f.Socket,
+		Line:   uint64(in.amap.LineOf(f.Addr)),
+		Detail: f.Kind.String(),
+	})
+}

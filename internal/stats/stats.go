@@ -50,6 +50,18 @@ type Counters struct {
 	Recoveries        uint64 // recoveries via replica
 	DegradedLines     uint64
 
+	// RAS escalation-ladder events (retry → replica → repair-verify →
+	// retire) and graceful-degradation accounting.
+	RetriedReads      uint64 // local re-reads after a detected error
+	RetrySuccesses    uint64 // errors that cleared on a local re-read
+	RepairWrites      uint64 // repair writes of recovered data
+	RepairVerifyFails uint64 // repair writes whose verify re-read still failed
+	PagesRetired      uint64 // pages retired after persistent repair failure
+	DegradedReads     uint64 // reads funneled straight to the surviving copy
+	SocketKills       uint64 // memory controllers lost mid-run
+	DemotedLines      uint64 // lines demoted to unreplicated mode by a kill
+	SilentCorruptions uint64 // undetected corrupt reads (CodeNone only)
+
 	// Dynamic protocol profile decisions.
 	EpochsAllow, EpochsDeny uint64
 }
