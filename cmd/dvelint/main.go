@@ -1,0 +1,168 @@
+// Command dvelint runs the repo's custom static analyzers — the suite in
+// internal/analysis that mechanically prevents the simulator's real bug
+// classes:
+//
+//	deferredmutation  protocol state mutated across a sim.Engine scheduling
+//	                  boundary (the PR 1 grant/fill-split race shape)
+//	determinism       wall-clock reads, global math/rand, effectful map
+//	                  iteration in simulation packages
+//	statecover        non-exhaustive switches over protocol enums
+//	guardedfield      "// guarded by <mu>" fields accessed without the lock
+//
+// Usage:
+//
+//	dvelint [-checks list] [packages]
+//
+// Packages default to ./... and accept the go tool's pattern syntax.
+// Findings are suppressed with a justified //lint:ignore comment:
+//
+//	//lint:ignore determinism CLI-side reporting, never runs in simulation
+//
+// Exit status is 1 if any finding remains, 0 otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"dve/internal/analysis"
+	"dve/internal/analysis/deferredmutation"
+	"dve/internal/analysis/determinism"
+	"dve/internal/analysis/guardedfield"
+	"dve/internal/analysis/statecover"
+)
+
+var all = []*analysis.Analyzer{
+	deferredmutation.Analyzer,
+	determinism.Analyzer,
+	guardedfield.Analyzer,
+	statecover.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dvelint [-checks list] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modPath, modDir, err := moduleInfo()
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := listPackages(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewLoader(modDir, modPath)
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := d.Position
+		if rel, err := filepath.Rel(modDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "dvelint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("dvelint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// moduleInfo asks the go tool for the enclosing module's path and root.
+func moduleInfo() (path, dir string, err error) {
+	out, err := goTool("list", "-m", "-f", "{{.Path}}\t{{.Dir}}")
+	if err != nil {
+		return "", "", err
+	}
+	fields := strings.SplitN(strings.TrimSpace(out), "\t", 2)
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("dvelint: cannot determine module: %q", out)
+	}
+	return fields[0], fields[1], nil
+}
+
+// listPackages expands go package patterns to import paths.
+func listPackages(patterns []string) ([]string, error) {
+	out, err := goTool(append([]string{"list"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+func goTool(args ...string) (string, error) {
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Package analysis is dvelint's static-analysis framework: a deliberately
+// small, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis API surface that this repo's analyzers need. The build
+// environment vendors no third-party modules, so the framework is built
+// entirely on the standard library's go/ast, go/parser and go/types.
+//
+// The shape mirrors x/tools so the analyzers (and their tests) read like
+// any other go/analysis checker and could be ported to the real framework
+// by swapping an import:
+//
+//   - an Analyzer bundles a name, documentation and a Run function;
+//   - Run receives a Pass holding one type-checked package and reports
+//     findings through Pass.Reportf;
+//   - the driver (cmd/dvelint) loads packages, runs every analyzer and
+//     applies //lint:ignore suppressions (see Suppress in run.go).
+//
+// See README.md in this directory for the four analyzers, the simulator
+// bug classes they target, and the suppression contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Name appears in diagnostics and is the key
+// //lint:ignore comments use to suppress a finding.
+type Analyzer struct {
+	Name string
+	// Doc is the analyzer's documentation: first line is a summary, the
+	// rest explains the bug class and how to fix or suppress findings.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path. GOPATH-style test packages (the
+	// analyzer golden tests under testdata/src) have bare, slash-free
+	// paths; analyzers that scope themselves to simulator packages treat
+	// those as in scope so testdata exercises the same code path.
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file of the pass in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Diagnostic is one finding, with its position already resolved so it is
+// self-contained.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way the driver prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}

@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dve/internal/analysis"
+	"dve/internal/analysis/determinism"
+)
+
+func loadTestPkg(t *testing.T, name string) *analysis.Package {
+	t.Helper()
+	loader := analysis.NewLoader(filepath.Join("testdata", "src"), "")
+	pkg, err := loader.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestLoader checks that the stdlib-only loader produces a fully
+// type-checked package with resolved imports.
+func TestLoader(t *testing.T) {
+	pkg := loadTestPkg(t, "suppressed")
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("loader returned package without type information")
+	}
+	if pkg.Types.Name() != "suppressed" {
+		t.Fatalf("package name = %q, want suppressed", pkg.Types.Name())
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Fatal("no resolved uses: type info not populated")
+	}
+	found := false
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "time" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stdlib import time not resolved")
+	}
+}
+
+// TestLoaderModuleMode loads a real package of this module, resolving an
+// intra-module dependency (dve/internal/topology) plus stdlib imports.
+func TestLoaderModuleMode(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(root, "dve")
+	pkg, err := loader.Load("dve/internal/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "fault" {
+		t.Fatalf("package name = %q, want fault", pkg.Types.Name())
+	}
+}
+
+// TestSuppress checks the //lint:ignore contract: an ignore with a
+// justification suppresses its own line and the next, a bare ignore or a
+// mismatched analyzer name suppresses nothing.
+func TestSuppress(t *testing.T) {
+	pkg := loadTestPkg(t, "suppressed")
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (missing justification + wrong analyzer):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "time.Now") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestDiagnosticsSorted checks the driver-facing ordering guarantee.
+func TestDiagnosticsSorted(t *testing.T) {
+	pkg := loadTestPkg(t, "determinism")
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("expected several diagnostics, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Position, diags[i].Position
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %s after %s", b, a)
+		}
+	}
+}

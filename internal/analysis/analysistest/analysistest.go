@@ -1,0 +1,122 @@
+// Package analysistest runs an analyzer over GOPATH-style golden packages
+// and checks its diagnostics against expectations embedded in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	e.State = cache.Modified // want `straddle a scheduling boundary`
+//
+// A "want" comment holds one or more quoted regular expressions (double
+// quotes or backquotes). Every diagnostic on a line must be matched by
+// some want-regex on that line, and every want-regex must match at least
+// one diagnostic on its line.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dve/internal/analysis"
+)
+
+// TestData returns the analyzers' shared testdata root
+// (internal/analysis/testdata), resolved relative to the calling test's
+// working directory (internal/analysis/<analyzer>).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each named package from testdata/src, applies the analyzer,
+// and compares diagnostics against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(filepath.Join(testdata, "src"), "")
+	for _, name := range pkgs {
+		pkg, err := loader.Load(name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// check enforces the want-comment contract for one package.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parseWants(t, pos.String(), strings.TrimPrefix(text, "want ")) {
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], pat)
+				}
+			}
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		ok := false
+		for _, pat := range wants[k] {
+			if pat.MatchString(d.Message) {
+				matched[pat] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+		}
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if !matched[pat] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, pat)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from a want comment's payload.
+func parseWants(t *testing.T, at, payload string) []*regexp.Regexp {
+	t.Helper()
+	var pats []*regexp.Regexp
+	rest := strings.TrimSpace(payload)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment %q: %v", at, payload, err)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q: %v", at, q, err)
+		}
+		pat, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", at, lit, err)
+		}
+		pats = append(pats, pat)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return pats
+}

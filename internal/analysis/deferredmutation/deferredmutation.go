@@ -1,0 +1,207 @@
+// Package deferredmutation flags protocol-state mutations that straddle a
+// sim.Engine scheduling boundary: a closure deferred into the event queue
+// mutates coherence/cache/directory state that the enclosing code already
+// mutated before scheduling.
+//
+// This is the exact shape behind all three coherence races PR 1's fault
+// campaign exposed (grant applied at the serialization point, matching
+// fill/cleanup deferred into a later event): between the two halves, other
+// events observe the half-applied transition. The fix is to apply the
+// whole transition on one side of the boundary — either all at the
+// serialization point, or all inside the deferred event.
+package deferredmutation
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dve/internal/analysis"
+	"dve/internal/analysis/simapi"
+)
+
+// Analyzer flags split protocol-state transitions across scheduling
+// boundaries.
+var Analyzer = &analysis.Analyzer{
+	Name: "deferredmutation",
+	Doc: "detect protocol state mutated both at a serialization point and " +
+		"inside a closure deferred via sim.Engine (the grant/fill-split race shape)",
+	Run: run,
+}
+
+// mutation is one write through a field or element of a variable.
+type mutation struct {
+	root *types.Var // the variable at the base of the selector chain
+	expr ast.Expr   // the full LHS, for the message
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		branches := collectBranches(file)
+		muts := collectMutations(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			method, ok := simapi.ScheduleCall(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkClosure(pass, branches, muts, method, call, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// branch is a source region whose statements execute only on some paths:
+// a case/comm clause, an if or else body, or a closure body. A mutation
+// inside such a region counts as "before the scheduling call" only if the
+// call sits in the same region — otherwise the two are on mutually
+// exclusive paths (different switch arms) or different execution times
+// (a sibling deferred closure), and no transition is split.
+type branch struct {
+	pos, end token.Pos
+}
+
+func collectBranches(file *ast.File) []branch {
+	var out []branch
+	add := func(n ast.Node) {
+		if n != nil {
+			out = append(out, branch{n.Pos(), n.End()})
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CaseClause, *ast.CommClause:
+			add(n)
+		case *ast.IfStmt:
+			add(x.Body)
+			add(x.Else)
+		case *ast.FuncLit:
+			add(x.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// innermost returns the smallest branch region containing pos, or nil.
+func innermost(branches []branch, pos token.Pos) *branch {
+	var best *branch
+	for i := range branches {
+		b := &branches[i]
+		if pos < b.pos || pos > b.end {
+			continue
+		}
+		if best == nil || b.end-b.pos < best.end-best.pos {
+			best = b
+		}
+	}
+	return best
+}
+
+// checkClosure reports every captured protocol-state variable the deferred
+// closure mutates after the enclosing scope already mutated it on the path
+// to the scheduling call.
+func checkClosure(pass *analysis.Pass, branches []branch, muts []mutation, method string, call *ast.CallExpr, lit *ast.FuncLit) {
+	for _, m := range muts {
+		if m.pos < lit.Pos() || m.pos > lit.End() {
+			continue // not inside this closure
+		}
+		if within(m.root.Pos(), lit) {
+			continue // closure-local variable, not captured
+		}
+		if !simapi.IsProtocolState(m.root.Type()) {
+			continue
+		}
+		// Earliest prior mutation of the same variable that executes on
+		// the path to the scheduling call: mutations in mutually exclusive
+		// switch arms or sibling closures don't split this transition.
+		var prior *mutation
+		for i := range muts {
+			p := &muts[i]
+			if p.root != m.root || p.pos >= call.Pos() {
+				continue
+			}
+			if b := innermost(branches, p.pos); b != nil && (call.Pos() < b.pos || call.Pos() > b.end) {
+				continue
+			}
+			prior = p
+			break
+		}
+		if prior == nil {
+			continue
+		}
+		pass.Reportf(m.pos,
+			"closure deferred via %s mutates %s, but %s was already mutated before scheduling (line %d): protocol-state transitions must not straddle a scheduling boundary",
+			method, types.ExprString(m.expr), types.ExprString(prior.expr),
+			pass.Fset.Position(prior.pos).Line)
+	}
+}
+
+// collectMutations gathers every field/element write in the file, in
+// source order.
+func collectMutations(pass *analysis.Pass, file *ast.File) []mutation {
+	var muts []mutation
+	add := func(lhs ast.Expr) {
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj, ok := pass.TypesInfo.ObjectOf(root).(*types.Var)
+		if !ok {
+			return
+		}
+		muts = append(muts, mutation{root: obj, expr: lhs, pos: lhs.Pos()})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(stmt.X)
+		}
+		return true
+	})
+	return muts
+}
+
+// rootIdent returns the identifier at the base of a selector/index chain,
+// or nil for expressions that are not field/element writes (a write to a
+// plain local variable carries no shared protocol state).
+func rootIdent(e ast.Expr) *ast.Ident {
+	chained := false
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e, chained = x.X, true
+		case *ast.IndexExpr:
+			e, chained = x.X, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e, chained = x.X, true
+		case *ast.Ident:
+			if !chained {
+				return nil
+			}
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos falls inside node's source range.
+func within(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos <= node.End()
+}

@@ -1,0 +1,12 @@
+package deferredmutation_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/deferredmutation"
+)
+
+func TestDeferredMutation(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), deferredmutation.Analyzer, "deferredmutation")
+}

@@ -1,0 +1,312 @@
+// Package determinism enforces the simulator's core contract: a run is a
+// pure function of (configuration, seed). Two runs with the same inputs
+// must produce byte-identical journals — that is what makes the RAS
+// campaign's regression journals, the model checker's counterexamples and
+// every perf figure trustworthy.
+//
+// In simulation packages (dve/internal/..., except the allowlisted
+// wall-clock helper package dve/internal/stats) the analyzer bans:
+//
+//   - time.Now / time.Since / time.Until — simulated time comes from
+//     sim.Engine; wall-clock reporting belongs behind internal/stats;
+//   - the global math/rand top-level generators (rand.Intn, rand.Float64,
+//     ...) — a seeded *rand.Rand is fine, the process-global source is
+//     not (constructors like rand.New/NewSource/NewZipf are allowed);
+//   - ranging over a map when the body schedules events, writes to a
+//     journal or output stream, or accumulates into an outer slice that
+//     is not sorted afterwards — map iteration order would leak into the
+//     event order or the journal.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dve/internal/analysis"
+	"dve/internal/analysis/simapi"
+)
+
+// Analyzer bans nondeterminism sources in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "ban wall-clock reads, the global math/rand source, and effectful " +
+		"map iteration in simulation packages (runs must be pure functions of the seed)",
+	Run: run,
+}
+
+// allowlisted packages may read the wall clock: internal/stats hosts the
+// one sanctioned wall-clock helper (stats.Stopwatch) so that reporting
+// code outside the simulation can time itself.
+var allowlist = map[string]bool{
+	"dve/internal/stats": true,
+}
+
+// inScope reports whether the package is a simulation package. Bare,
+// slash-free paths are the GOPATH-style golden-test packages (and the
+// top-level dve facade), which are held to the same standard.
+func inScope(path string) bool {
+	if allowlist[path] {
+		return false
+	}
+	if !strings.Contains(path, "/") {
+		return true
+	}
+	return strings.HasPrefix(path, "dve/internal/")
+}
+
+// bannedTimeFuncs read the process wall clock.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// journalMethods are method names whose call inside a map range writes
+// run-visible output in map-iteration order.
+var journalMethods = map[string]bool{
+	"Append": true, "Record": true, "Log": true,
+	"Write": true, "WriteTo": true, "WriteString": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Track the innermost enclosing function body so the sorted-after
+		// escape hatch for map accumulation knows where to look.
+		var funcs []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case nil:
+				return false
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, x)
+				// Walk the function with this scope on the stack, then
+				// prune this subtree from the outer walk.
+				for _, c := range children(x) {
+					ast.Inspect(c, visit)
+				}
+				funcs = funcs[:len(funcs)-1]
+				return false
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.RangeStmt:
+				checkMapRange(pass, x, enclosing(funcs))
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil
+}
+
+// children returns the body (and receiver-independent parts) of a function
+// node to continue the walk inside it.
+func children(n ast.Node) []ast.Node {
+	switch f := n.(type) {
+	case *ast.FuncDecl:
+		if f.Body != nil {
+			return []ast.Node{f.Body}
+		}
+	case *ast.FuncLit:
+		return []ast.Node{f.Body}
+	}
+	return nil
+}
+
+func enclosing(funcs []ast.Node) ast.Node {
+	if len(funcs) == 0 {
+		return nil
+	}
+	return funcs[len(funcs)-1]
+}
+
+// checkCall flags wall-clock reads and global math/rand use.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calledFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, (time.Time).Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTimeFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s in a simulation package: simulated time comes from sim.Engine; wall-clock reporting belongs behind dve/internal/stats (Stopwatch)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"global rand.%s shares process-wide state: use a seeded *rand.Rand so runs are a pure function of the seed",
+				fn.Name())
+		}
+	}
+}
+
+// calledFunc resolves the called package-level function or method, or nil.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// checkMapRange flags effectful iteration over a map.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if method, ok := simapi.ScheduleCall(pass.TypesInfo, call); ok {
+			pass.Reportf(call.Pos(),
+				"%s inside a map range: events would be enqueued in map-iteration order; iterate a sorted key slice instead", method)
+			return true
+		}
+		if m := journalWrite(pass.TypesInfo, call); m != "" {
+			pass.Reportf(call.Pos(),
+				"%s inside a map range writes in map-iteration order; iterate a sorted key slice instead", m)
+			return true
+		}
+		if tgt := unsortedAccumulation(pass, call, rng, fn); tgt != nil {
+			pass.Reportf(call.Pos(),
+				"append to %s inside a map range without sorting afterwards: result order depends on map iteration; sort the keys first or sort %s after the loop",
+				tgt.Name(), tgt.Name())
+		}
+		return true
+	})
+}
+
+// journalWrite reports a journal/output write: a method call with a
+// journaling name, or a top-level fmt print call.
+func journalWrite(info *types.Info, call *ast.CallExpr) string {
+	fn := calledFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() != nil {
+		if journalMethods[fn.Name()] {
+			return "call to " + fn.Name()
+		}
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name()
+	}
+	return ""
+}
+
+// unsortedAccumulation detects `x = append(x, ...)` where x is declared
+// outside the range statement and no sort call mentioning x follows the
+// loop within the enclosing function. Returns the accumulated variable,
+// or nil if the pattern is absent or sorted afterwards.
+func unsortedAccumulation(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt, fn ast.Node) *types.Var {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	root := rootVar(pass.TypesInfo, call.Args[0])
+	if root == nil {
+		return nil
+	}
+	if within(root.Pos(), rng) {
+		return nil // loop-local accumulator: order visible only inside
+	}
+	if fn != nil && sortedAfter(pass, fn, rng, root) {
+		return nil
+	}
+	return root
+}
+
+// sortedAfter reports whether a sort/slices call whose arguments mention v
+// appears after the range loop in the enclosing function.
+func sortedAfter(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || found {
+			return !found
+		}
+		callee := calledFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass.TypesInfo, arg, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentions reports whether expr references variable v.
+func mentions(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootVar returns the variable at the base of a selector/index chain (or
+// the plain identifier itself).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+func within(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos <= node.End()
+}

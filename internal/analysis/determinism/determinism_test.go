@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "determinism")
+}

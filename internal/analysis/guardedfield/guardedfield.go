@@ -1,0 +1,162 @@
+// Package guardedfield checks lock discipline declared in struct field
+// comments. A field annotated
+//
+//	faults []tracked // guarded by mu
+//
+// may only be accessed in functions that (a) lock that mutex on the same
+// receiver before the access — s.mu.Lock() or s.mu.RLock() — or (b) are
+// documented as caller-locked ("caller-locked" or "mu must be held" in the
+// function's doc comment). fault.Set pioneered the annotation: its fault
+// list is mutated concurrently by the RAS injector goroutine-free event
+// path and read on the simulator's hot path, and an unguarded access is a
+// data race the -race detector only catches if a test happens to hit the
+// interleaving. The check is intentionally flow-insensitive (a Lock
+// anywhere earlier in the function counts), trading soundness for zero
+// false positives on idiomatic lock-then-defer-unlock code.
+package guardedfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"dve/internal/analysis"
+)
+
+// Analyzer enforces "// guarded by <mu>" field annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedfield",
+	Doc: "fields annotated '// guarded by <mu>' must be accessed with the mutex " +
+		"held in the same function, or from a function documented as caller-locked",
+	Run: run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, guarded, fd)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps field objects to the name of their guarding mutex.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	pass.Inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			mu := guardAnnotation(field)
+			if mu == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+					guarded[obj] = mu
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from the field's doc or line
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFunc reports unguarded accesses within one function declaration
+// (closures included: a closure is checked against locks taken anywhere
+// earlier in the declaration, since it usually runs on the locked path
+// that created it).
+func checkFunc(pass *analysis.Pass, guarded map[types.Object]string, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if callerLocked(fd, mu) {
+			return true
+		}
+		if locksBefore(fd, base, mu, sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but accessed without it: lock %s.%s first, or document the function as caller-locked (%q in its doc comment)",
+			base, selection.Obj().Name(), mu, base, mu, mu+" must be held")
+		return true
+	})
+}
+
+// callerLocked reports whether the function's doc comment declares the
+// locking contract as the caller's responsibility. Matching is
+// case-insensitive and ignores line wrapping.
+func callerLocked(fd *ast.FuncDecl, mu string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	doc := strings.ToLower(strings.Join(strings.Fields(fd.Doc.Text()), " "))
+	mu = strings.ToLower(mu)
+	return strings.Contains(doc, "caller-locked") ||
+		strings.Contains(doc, mu+" must be held") ||
+		strings.Contains(doc, mu+" held")
+}
+
+// locksBefore reports whether <base>.<mu>.Lock() or .RLock() is called
+// before pos inside the function.
+func locksBefore(fd *ast.FuncDecl, base, mu string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || found {
+			return !found
+		}
+		lock, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (lock.Sel.Name != "Lock" && lock.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := lock.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu {
+			return true
+		}
+		if types.ExprString(muSel.X) == base {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

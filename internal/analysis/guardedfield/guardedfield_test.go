@@ -1,0 +1,12 @@
+package guardedfield_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/guardedfield"
+)
+
+func TestGuardedField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), guardedfield.Analyzer, "guardedfield")
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Run executes every analyzer over every package and returns the combined
+// findings sorted by file position, with //lint:ignore suppressions already
+// applied.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+			}
+			var diags []Diagnostic
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			out = append(out, Suppress(pkg, diags)...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Suppress drops diagnostics covered by a suppression comment of the form
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// placed either on the same line as the finding or on the line directly
+// above it. <analyzer> may be a comma-separated list. The justification is
+// mandatory: an ignore comment without one does not suppress anything, so
+// every suppression in the tree documents why the finding is acceptable.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignores maps file -> line -> analyzer names suppressed at that line.
+	ignores := map[string]map[int][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
+				if len(fields) < 2 {
+					continue // no justification: not a valid suppression
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ignores[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ignores[pos.Filename] = m
+				}
+				// The comment covers its own line and the next one, so it
+				// works both inline and as a standalone line above.
+				names := strings.Split(fields[0], ",")
+				m[pos.Line] = append(m[pos.Line], names...)
+				m[pos.Line+1] = append(m[pos.Line+1], names...)
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, name := range ignores[d.Position.Filename][d.Position.Line] {
+			if name == d.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,86 @@
+// Package simapi centralizes how dvelint's analyzers recognize the
+// simulator's own API surface — the sim.Engine scheduling entry points and
+// the packages that hold coherence-protocol state. Analyzers match by
+// package name and type name rather than full import path so the same
+// logic applies both to the real tree (dve/internal/sim) and to the
+// GOPATH-style stand-in packages under internal/analysis/testdata/src.
+package simapi
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// scheduleMethods are the sim.Engine methods that defer a closure into the
+// event queue.
+var scheduleMethods = map[string]bool{
+	"Schedule":       true,
+	"ScheduleDaemon": true,
+	"At":             true,
+}
+
+// ScheduleCall reports whether call invokes one of sim.Engine's scheduling
+// methods, returning the method name. The receiver must be (a pointer to)
+// a type named Engine declared in a package named sim.
+func ScheduleCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !scheduleMethods[sel.Sel.Name] {
+		return "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	if !isNamed(selection.Recv(), "sim", "Engine") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// protocolStatePkgs are the packages whose types carry coherence, cache
+// and directory state — the state whose mutation must not straddle a
+// scheduling boundary.
+var protocolStatePkgs = map[string]bool{
+	"cache":     true,
+	"coherence": true,
+	"dve":       true,
+	"mcheck":    true,
+}
+
+// IsProtocolState reports whether t (possibly behind pointers or slices)
+// is a named type declared in one of the coherence-protocol packages.
+func IsProtocolState(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && protocolStatePkgs[pkg.Name()]
+}
+
+// isNamed reports whether t (or its pointee) is the named type pkgName.name.
+func isNamed(t types.Type, pkgName, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}

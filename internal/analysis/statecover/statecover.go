@@ -1,0 +1,168 @@
+// Package statecover enforces exhaustive handling of protocol enums: every
+// switch over an enum-like named type (State, Mode, Kind, ...) must either
+// cover all constants declared for that type or carry a default that
+// panics. A silent default — or no default — lets a newly added state
+// (say, a future degraded mode) fall through an existing protocol handler
+// without anyone noticing, which in a cycle-accurate simulator corrupts
+// results instead of crashing.
+package statecover
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"dve/internal/analysis"
+)
+
+// Analyzer checks switches over enum-like types for exhaustiveness.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecover",
+	Doc: "switches over protocol enums (State/Mode/Kind/... types) must cover " +
+		"every declared constant or panic in default, so new states cannot fall through silently",
+	Run: run,
+}
+
+// enumName matches type names treated as protocol enums.
+var enumName = regexp.MustCompile(`(?i)(state|mode|kind|phase|code|protocol|level|status)`)
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		checkSwitch(pass, sw)
+		return true
+	})
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	t := pass.TypesInfo.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || !enumName.MatchString(named.Obj().Name()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	declared := declaredConsts(named)
+	if len(declared) < 2 {
+		return // not an enum
+	}
+
+	covered := map[string]bool{}
+	hasPanickingDefault := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil { // default:
+			if panics(pass, cc) {
+				hasPanickingDefault = true
+			}
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	if hasPanickingDefault {
+		return
+	}
+	var missing []string
+	for _, c := range declared {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over %s does not handle %s and has no panicking default: new states would fall through silently (add the cases or a panicking default)",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// declaredConsts returns the constants of exactly type named declared in
+// its defining package, deduplicated by value (aliases like a Zero name for
+// an existing value count as one state), sorted by constant value.
+func declaredConsts(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	byVal := map[string]*types.Const{}
+	for _, name := range pkg.Scope().Names() { // Names() is sorted
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if _, dup := byVal[key]; !dup {
+			byVal[key] = c
+		}
+	}
+	out := make([]*types.Const, 0, len(byVal))
+	for _, c := range byVal {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Val(), out[j].Val()
+		if a.Kind() == constant.Int && b.Kind() == constant.Int {
+			return constant.Compare(a, token.LSS, b)
+		}
+		return a.ExactString() < b.ExactString()
+	})
+	return out
+}
+
+// panics reports whether the clause body reaches a call that aborts or
+// loudly diagnoses the run: panic, log.Fatal*, (*testing.T).Fatal*,
+// os.Exit, or a failure-recording method (Fail*/fail, the model checker's
+// res.fail counts a state as a violation, which is exactly the "crash
+// loudly on an unhandled state" contract this analyzer wants).
+func panics(pass *analysis.Pass, cc *ast.CaseClause) bool {
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return !found
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" {
+					if _, ok := pass.TypesInfo.ObjectOf(fun).(*types.Builtin); ok {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Fail") ||
+					name == "fail" || name == "Exit" || name == "Panic" || name == "Panicf" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package statecover_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/statecover"
+)
+
+func TestStateCover(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), statecover.Analyzer, "statecover")
+}

@@ -1,0 +1,22 @@
+// Package cache is a stand-in for dve/internal/cache, providing the State
+// enum and an Entry carrying protocol state for the golden tests.
+package cache
+
+// State is a coherence state (mirrors dve/internal/cache.State).
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Owned
+	Modified
+	RemoteModified
+)
+
+// Entry is one cache line's protocol state.
+type Entry struct {
+	State   State
+	Dirty   bool
+	Owner   int8
+	Sharers uint64
+}

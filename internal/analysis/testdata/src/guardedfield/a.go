@@ -1,0 +1,52 @@
+// Package guardedfield seeds lock-discipline violations against the
+// "// guarded by <mu>" field annotation.
+package guardedfield
+
+import "sync"
+
+type set struct {
+	mu sync.Mutex
+	// faults is the active fault list.
+	faults []int // guarded by mu
+	name   string
+}
+
+// add locks before touching the guarded field: fine.
+func (s *set) add(f int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = append(s.faults, f)
+}
+
+// addRacy touches the guarded field with no lock anywhere in the function.
+func (s *set) addRacy(f int) {
+	s.faults = append(s.faults, f) // want `s\.faults is guarded by mu` `s\.faults is guarded by mu`
+}
+
+// countLocked documents the contract instead of locking: mu must be held.
+func (s *set) countLocked() int {
+	return len(s.faults) // ok: caller-locked by doc comment
+}
+
+// lockTooLate reads the guarded field before acquiring the lock.
+func (s *set) lockTooLate() int {
+	n := len(s.faults) // want `s\.faults is guarded by mu`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n + len(s.faults)
+}
+
+// unguarded fields need no lock.
+func (s *set) label() string { return s.name }
+
+// rlockOK: reader locks count too.
+type rset struct {
+	mu sync.RWMutex
+	snapshots []int // guarded by mu
+}
+
+func (r *rset) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.snapshots)
+}

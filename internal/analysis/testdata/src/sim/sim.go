@@ -1,0 +1,22 @@
+// Package sim is a stand-in for dve/internal/sim: the analyzers recognize
+// the engine's scheduling API by package name, type name and method name,
+// so this stub exercises the same detection path as the real engine.
+package sim
+
+// Cycle mirrors sim.Cycle.
+type Cycle uint64
+
+// Engine mirrors the scheduling surface of sim.Engine.
+type Engine struct{ now Cycle }
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles.
+func (e *Engine) Schedule(delay Cycle, fn func()) {}
+
+// ScheduleDaemon schedules a background event.
+func (e *Engine) ScheduleDaemon(delay Cycle, fn func()) {}
+
+// At runs fn at an absolute cycle.
+func (e *Engine) At(when Cycle, fn func()) {}

@@ -1,0 +1,110 @@
+// Package statecover seeds non-exhaustive switches over protocol enums.
+package statecover
+
+import "cache"
+
+// full covers every declared state: fine without a default.
+func full(s cache.State) string {
+	switch s {
+	case cache.Invalid:
+		return "I"
+	case cache.Shared:
+		return "S"
+	case cache.Owned:
+		return "O"
+	case cache.Modified:
+		return "M"
+	case cache.RemoteModified:
+		return "RM"
+	}
+	return "?"
+}
+
+// missing drops RemoteModified — a future degraded mode would silently
+// fall through here.
+func missing(s cache.State) string {
+	switch s { // want `switch over State does not handle RemoteModified`
+	case cache.Invalid:
+		return "I"
+	case cache.Shared, cache.Owned, cache.Modified:
+		return "valid"
+	}
+	return "?"
+}
+
+// silentDefault has a default, but a silent one: new states are absorbed
+// instead of crashing, which is exactly the failure mode being banned.
+func silentDefault(s cache.State) string {
+	switch s { // want `switch over State does not handle Owned, Modified, RemoteModified`
+	case cache.Invalid:
+		return "I"
+	case cache.Shared:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// panickingDefault is the sanctioned escape hatch for intentionally
+// partial handlers.
+func panickingDefault(s cache.State) string {
+	switch s {
+	case cache.Invalid:
+		return "I"
+	default:
+		panic("statecover: unhandled state")
+	}
+}
+
+// mode is a package-local enum; lowercase names are held to the same rule.
+type mode int
+
+const (
+	modeAllow mode = iota
+	modeDeny
+	modeDynamic
+)
+
+func localEnum(m mode) int {
+	switch m { // want `switch over mode does not handle modeDynamic`
+	case modeAllow:
+		return 0
+	case modeDeny:
+		return 1
+	}
+	return -1
+}
+
+// result mimics the model checker's failure accumulator.
+type result struct{ failures []string }
+
+func (r *result) fail(msg string) { r.failures = append(r.failures, msg) }
+
+// failingDefault records a violation for unhandled states — the model
+// checker's equivalent of a panicking default.
+func failingDefault(s cache.State, r *result) {
+	switch s {
+	case cache.Invalid:
+	default:
+		r.fail("unhandled state")
+	}
+}
+
+// notEnum: switches over plain built-in types are out of scope.
+func notEnum(n int) string {
+	switch n {
+	case 1:
+		return "one"
+	}
+	return "many"
+}
+
+// nonConstCase: coverage cannot be reasoned about, so the switch is left
+// alone rather than guessed at.
+func nonConstCase(s cache.State, other cache.State) string {
+	switch s {
+	case other:
+		return "same"
+	}
+	return "diff"
+}

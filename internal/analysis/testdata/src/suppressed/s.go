@@ -1,0 +1,23 @@
+// Package suppressed exercises the //lint:ignore contract.
+package suppressed
+
+import "time"
+
+func above() time.Time {
+	//lint:ignore determinism CLI-side reporting, never reached by the simulator
+	return time.Now()
+}
+
+func inline() time.Time {
+	return time.Now() //lint:ignore determinism inline form also covers its own line
+}
+
+func missingJustification() time.Time {
+	//lint:ignore determinism
+	return time.Now() // an ignore without a justification suppresses nothing
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:ignore statecover justification for a different analyzer
+	return time.Now()
+}

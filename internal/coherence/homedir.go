@@ -617,9 +617,12 @@ func (d *HomeDir) OracleAddSharer(l topology.Line, socket int) {
 
 // LinesOwnedBy returns the lines currently owned (M/O) by the given socket
 // agent; the dynamic protocol's warmup uses it to rebuild the deny set.
+// Iterating lineOrder (first-touch order) instead of the entries map keeps
+// the result — and every deny push scheduled from it — deterministic.
 func (d *HomeDir) LinesOwnedBy(socket int) []topology.Line {
 	var out []topology.Line
-	for l, e := range d.entries {
+	for _, l := range d.lineOrder {
+		e := d.entries[l]
 		if (e.state == cache.Modified || e.state == cache.Owned) && int(e.owner) == socket {
 			out = append(out, l)
 		}

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"dve/internal/cache"
 	"dve/internal/topology"
@@ -101,5 +102,9 @@ func (s *System) CheckInvariants() []string {
 			return true
 		})
 	}
+	// Several audits above iterate maps; sorting makes the violation
+	// report itself deterministic, so a failing campaign produces the
+	// same journal artifacts on every run.
+	sort.Strings(v)
 	return v
 }

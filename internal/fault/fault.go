@@ -119,16 +119,16 @@ type Set struct {
 	code LocalCode
 
 	mu     sync.Mutex
-	faults []tracked
-	nextID ID
+	faults []tracked // guarded by mu
+	nextID ID        // guarded by mu
 
 	// readSeq numbers ReadFails calls; intermittent faults key their duty
 	// cycle off it so the flap pattern is deterministic per run.
-	readSeq uint64
+	readSeq uint64 // guarded by mu
 	// silent counts reads where an active fault covered the address but the
 	// local code could not even detect it (CodeNone): the read returned
 	// corrupt data as good — a silent data corruption.
-	silent uint64
+	silent uint64 // guarded by mu
 }
 
 // NewSet creates an empty fault set judging reads with the given local code.
@@ -317,6 +317,9 @@ func (s *Set) ReadFails(socket int, a topology.Addr) bool {
 			switch first {
 			case Cell, Column, Row, Bank, Chip:
 				return s.chipFaultsOn(socket, co.Channel) > 1
+			case DIMM, Channel, Controller:
+				// Blast radius exceeds one chip's symbols: chipkill cannot
+				// correct, fall through to detected-uncorrectable.
 			}
 		}
 		return true
@@ -330,7 +333,8 @@ func (s *Set) ReadFails(socket int, a topology.Addr) bool {
 
 // chipFaultsOn counts distinct failed chips covering the address's channel.
 // Chips are tracked in a bitset (no allocation); chip indices alias mod 64,
-// which is far beyond any real per-channel chip count.
+// which is far beyond any real per-channel chip count. Caller-locked: s.mu
+// must be held (ReadFails calls it from inside its critical section).
 func (s *Set) chipFaultsOn(socket, channel int) int {
 	var bits uint64
 	n := 0

@@ -117,6 +117,9 @@ func llcSpont(res *succResult, s *state, home bool) {
 		n.send(reqCh, msg{t: mPutM, data: n.llcVal(home)})
 		n.setLLC(home, lMIa)
 		res.add(n)
+	case lISd, lIMd, lMIa:
+		// Transient states issue no spontaneous demands or evictions:
+		// the in-flight transaction must resolve first.
 	}
 }
 

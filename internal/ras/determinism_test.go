@@ -1,0 +1,65 @@
+package ras
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dve/internal/fault"
+	"dve/internal/topology"
+)
+
+// TestJournalFilesByteIdentical is the on-disk counterpart of
+// TestCampaignDeterminism: it runs one campaign scenario twice with the
+// same seed, writing journals through OutDir, and demands the resulting
+// files be byte-for-byte identical. This is the dynamic regression guard
+// for what dvelint's determinism analyzer enforces statically (no wall
+// clock, no global rand, no order-sensitive map iteration on the journal
+// path) — if either run's journal diverges, some hidden source of
+// nondeterminism leaked into the simulation.
+//
+// The scenario deliberately stacks every journal-producing subsystem:
+// dynamic fault arrivals, background scrubbing, and a mid-run socket kill
+// with its demotion cascade.
+func TestJournalFilesByteIdentical(t *testing.T) {
+	sc := Scenario{
+		Name: "replay", Workload: "fft", Protocol: topology.ProtoDeny,
+		Inject: &InjectorConfig{
+			MeanArrivalCyc: 1_200, MaxFaults: 20,
+			Kinds:            []fault.Kind{fault.Cell, fault.Bank},
+			TransientLifeCyc: 15_000, IntermittentLifeCyc: 25_000,
+			DutyPct: 50, HardenPct: 40,
+		},
+		KillSocket: 1, KillAtCyc: 5_000,
+		ScrubIntervalCyc: 2_500, ScrubBatch: 4,
+		AllowDUE: true, // injector may take out both copies within a scrub interval
+	}
+	journalFile := func(dir string) []byte {
+		res, err := RunCampaign(CampaignConfig{
+			Seeds: []int64{11}, MeasureOps: 8_000,
+			Scenarios: []Scenario{sc}, OutDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := res.Runs[0]
+		want := filepath.Join(dir, "replay-seed11.json")
+		if rep.JournalPath != want {
+			t.Fatalf("journal written to %q, want %q", rep.JournalPath, want)
+		}
+		b, err := os.ReadFile(rep.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatal("journal file is empty")
+		}
+		return b
+	}
+	a := journalFile(t.TempDir())
+	b := journalFile(t.TempDir())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("journal files differ between identical runs: %d vs %d bytes (run is not a pure function of scenario+seed)", len(a), len(b))
+	}
+}

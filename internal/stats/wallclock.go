@@ -1,0 +1,29 @@
+package stats
+
+import "time"
+
+// Stopwatch measures host wall-clock time for CLI reporting. It exists so
+// that wall-clock access has exactly one sanctioned home: the determinism
+// analyzer (dvelint) bans time.Now/Since in every simulation package and
+// allowlists only this package, keeping "how long did the run take on this
+// machine" cleanly separated from simulated time, which always comes from
+// sim.Engine. Nothing simulation-visible may ever depend on a Stopwatch.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartWallClock starts a stopwatch at the current host time.
+func StartWallClock() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the host time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}
+
+// ElapsedRounded returns the elapsed host time rounded to the given unit,
+// ready for human-facing output.
+func (s Stopwatch) ElapsedRounded(unit time.Duration) time.Duration {
+	return s.Elapsed().Round(unit)
+}

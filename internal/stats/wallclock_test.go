@@ -1,0 +1,21 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatch(t *testing.T) {
+	sw := StartWallClock()
+	e1 := sw.Elapsed()
+	if e1 < 0 {
+		t.Fatalf("Elapsed went backwards: %v", e1)
+	}
+	if e2 := sw.Elapsed(); e2 < e1 {
+		t.Fatalf("Elapsed not monotonic: %v then %v", e1, e2)
+	}
+	// A freshly started watch rounds to zero at coarse units.
+	if got := StartWallClock().ElapsedRounded(time.Hour); got != 0 {
+		t.Fatalf("ElapsedRounded(Hour) on a fresh stopwatch = %v, want 0", got)
+	}
+}

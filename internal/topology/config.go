@@ -166,6 +166,10 @@ func (c *Config) Replicated() bool {
 	switch c.Protocol {
 	case ProtoAllow, ProtoDeny, ProtoDynamic:
 		return true
+	case ProtoBaseline, ProtoIntelMirror:
+		// Baseline keeps a single copy; Intel mirroring duplicates writes
+		// in hardware but maintains no coherent replica directory.
+		return false
 	}
 	return false
 }
