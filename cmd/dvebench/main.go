@@ -6,6 +6,8 @@
 //	dvebench -experiment fig6 -scale full
 //	dvebench -experiment table1
 //	dvebench -experiment verify         # model-check both protocols
+//	dvebench -experiment bench -scale quick -json BENCH_quick.json
+//	dvebench -experiment fig6 -cpuprofile cpu.out   # then: go tool pprof cpu.out
 package main
 
 import (
@@ -15,16 +17,31 @@ import (
 	"time"
 
 	"dve/internal/experiments"
+	"dve/internal/perf"
 	"dve/internal/stats"
 )
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1|fig1|fig6|fig7|fig8|fig9|fig10|energy|faults|verify|all")
+		exp      = flag.String("experiment", "all", "table1|fig1|fig6|fig7|fig8|fig9|fig10|energy|faults|verify|bench|all")
 		scale    = flag.String("scale", "standard", "quick|standard|full")
 		parallel = flag.Int("parallel", 8, "concurrent simulations")
+		jsonOut  = flag.String("json", "", "with -experiment bench: write the perf report to this BENCH_*.json file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := perf.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := perf.WriteHeapProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
 
 	r := experiments.Runner{Parallelism: *parallel}
 	switch *scale {
@@ -37,6 +54,23 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "dvebench: unknown scale %q\n", *scale)
 		os.Exit(1)
+	}
+
+	// bench measures the simulator itself rather than the paper's results;
+	// it is opt-in only (not part of -experiment all).
+	if *exp == "bench" {
+		rep, err := r.Bench(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatBench(rep))
+		if *jsonOut != "" {
+			if err := rep.WriteFile(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
 	}
 
 	want := func(name string) bool { return *exp == name || *exp == "all" }

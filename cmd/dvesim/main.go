@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"dve/internal/dve"
+	"dve/internal/perf"
 	"dve/internal/stats"
 	"dve/internal/topology"
 	"dve/internal/workload"
@@ -32,8 +33,21 @@ func main() {
 		oracle  = flag.Bool("oracle", false, "oracular replica directory (Fig 9 ceiling)")
 		baseCmp = flag.Bool("speedup", false, "also run the baseline and report speedup")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := perf.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := perf.WriteHeapProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *list {
 		for _, s := range workload.Suite(16) {

@@ -49,11 +49,14 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
-			if !ok {
-				return true
+			// The deferred callback is the trailing func() for the closure
+			// entry points; the Fn fast paths take a handler (and possibly a
+			// closure arg) mid-argument-list, so check every literal.
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkClosure(pass, branches, muts, method, call, lit)
+				}
 			}
-			checkClosure(pass, branches, muts, method, call, lit)
 			return true
 		})
 	}

@@ -11,12 +11,15 @@ import (
 	"go/types"
 )
 
-// scheduleMethods are the sim.Engine methods that defer a closure into the
-// event queue.
+// scheduleMethods are the sim.Engine methods that defer a callback into the
+// event queue: the closure entry points and their typed Fn fast paths.
 var scheduleMethods = map[string]bool{
-	"Schedule":       true,
-	"ScheduleDaemon": true,
-	"At":             true,
+	"Schedule":         true,
+	"ScheduleFn":       true,
+	"ScheduleDaemon":   true,
+	"ScheduleDaemonFn": true,
+	"At":               true,
+	"AtFn":             true,
 }
 
 // ScheduleCall reports whether call invokes one of sim.Engine's scheduling

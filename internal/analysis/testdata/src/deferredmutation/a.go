@@ -37,6 +37,24 @@ func atSplit(eng *sim.Engine, entries []cache.Entry) {
 	})
 }
 
+// fnSplit catches the grant/fill split through the typed fast path: the
+// deferred handler is a closure literal passed to ScheduleFn.
+func fnSplit(eng *sim.Engine, e *cache.Entry) {
+	e.State = cache.Modified
+	eng.ScheduleFn(4, func(any, uint64) {
+		e.Dirty = true // want `closure deferred via ScheduleFn mutates e\.Dirty`
+	}, nil, 0)
+}
+
+// atFnSplit catches the same shape when the mutation rides in the arg
+// closure rather than the handler.
+func atFnSplit(eng *sim.Engine, e *cache.Entry, run sim.Handler) {
+	e.Sharers = 3
+	eng.AtFn(100, run, func() {
+		e.State = cache.Shared // want `closure deferred via AtFn mutates e\.State`
+	}, 0)
+}
+
 // allDeferred is the fix for the race above: the whole transition happens
 // inside the event, so no half-applied state is ever observable.
 func allDeferred(eng *sim.Engine, e *cache.Entry) {

@@ -43,6 +43,12 @@ func mapSchedule(eng *sim.Engine, m map[int]int) {
 	}
 }
 
+func mapScheduleFn(eng *sim.Engine, m map[int]*int, h sim.Handler) {
+	for _, v := range m {
+		eng.ScheduleFn(1, h, v, 0) // want `ScheduleFn inside a map range`
+	}
+}
+
 type journal struct{ events []int }
 
 // Append records one event.

@@ -6,6 +6,9 @@ package sim
 // Cycle mirrors sim.Cycle.
 type Cycle uint64
 
+// Handler mirrors sim.Handler, the typed fast-path callback.
+type Handler func(arg any, v uint64)
+
 // Engine mirrors the scheduling surface of sim.Engine.
 type Engine struct{ now Cycle }
 
@@ -20,3 +23,12 @@ func (e *Engine) ScheduleDaemon(delay Cycle, fn func()) {}
 
 // At runs fn at an absolute cycle.
 func (e *Engine) At(when Cycle, fn func()) {}
+
+// ScheduleFn mirrors the typed fast path of Schedule.
+func (e *Engine) ScheduleFn(delay Cycle, h Handler, arg any, v uint64) {}
+
+// ScheduleDaemonFn mirrors the typed fast path of ScheduleDaemon.
+func (e *Engine) ScheduleDaemonFn(delay Cycle, h Handler, arg any, v uint64) {}
+
+// AtFn mirrors the typed fast path of At.
+func (e *Engine) AtFn(when Cycle, h Handler, arg any, v uint64) {}

@@ -17,18 +17,31 @@ type dirEntry struct {
 	owner   int8 // owning socket agent when M/O; -1 otherwise
 }
 
+// Directory entries are stored by value in fixed-size slabs: transactions
+// hold *dirEntry across scheduling boundaries, so storage must never move
+// (a single growable slice would reallocate under them), and slab-backed
+// values avoid one heap object per tracked line.
+const (
+	dirSlabBits = 12
+	dirSlabSize = 1 << dirSlabBits
+	dirSlabMask = dirSlabSize - 1
+)
+
 // HomeDir is the global directory co-located with one socket's memory
 // controller. It is the serialization point for all transactions on lines
 // homed at this socket; concurrent requests for a line are serialized and
 // coalesced in the MSHR (Section V-C3).
 type HomeDir struct {
-	sys     *System
-	socket  int
-	entries map[topology.Line]*dirEntry
+	sys    *System
+	socket int
+	// entries maps a line to its slab slot; slabs hold the entry values.
+	// Entry i of lineOrder occupies slot i.
+	entries map[topology.Line]int32
+	slabs   [][]dirEntry
 	// lineOrder lists tracked lines in first-touch order (for the patrol
 	// scrubber's deterministic walk).
 	lineOrder []topology.Line
-	mshr      *cache.MSHR
+	seqq      *cache.Sequencer
 
 	// degraded marks lines whose home copy suffered a hard fault; their
 	// reads are funneled to the replica ("the system is placed in a degraded
@@ -51,33 +64,48 @@ const (
 )
 
 func newHomeDir(s *System, socket int) *HomeDir {
+	// Each home directory tracks roughly its socket's share of the
+	// footprint; the fault-path maps stay small (they only hold lines that
+	// ever failed), so their hint is a fraction of that.
+	hint := s.Cfg.FootprintHintLines / s.Cfg.Sockets
 	return &HomeDir{
 		sys:         s,
 		socket:      socket,
-		entries:     make(map[topology.Line]*dirEntry),
-		mshr:        cache.NewMSHR(0),
-		degraded:    make(map[topology.Line]bool),
-		repairFails: make(map[topology.Line]int),
+		entries:     make(map[topology.Line]int32, hint),
+		seqq:        cache.NewSequencer(s.Eng, sim.Cycle(s.Cfg.DirLatencyCyc), cache.NewMSHR(0)),
+		degraded:    make(map[topology.Line]bool, hint/64),
+		repairFails: make(map[topology.Line]int, hint/64),
 	}
 }
 
+// at returns the entry in slab slot i.
+func (d *HomeDir) at(i int32) *dirEntry {
+	return &d.slabs[i>>dirSlabBits][i&dirSlabMask]
+}
+
 func (d *HomeDir) entry(l topology.Line) *dirEntry {
-	e, ok := d.entries[l]
-	if !ok {
-		e = &dirEntry{state: cache.Invalid, owner: -1}
-		d.entries[l] = e
-		d.lineOrder = append(d.lineOrder, l)
+	if i, ok := d.entries[l]; ok {
+		return d.at(i)
 	}
-	return e
+	n := len(d.lineOrder)
+	if n>>dirSlabBits == len(d.slabs) {
+		d.slabs = append(d.slabs, make([]dirEntry, 0, dirSlabSize))
+	}
+	sl := &d.slabs[n>>dirSlabBits]
+	*sl = append(*sl, dirEntry{state: cache.Invalid, owner: -1})
+	d.entries[l] = int32(n)
+	d.lineOrder = append(d.lineOrder, l)
+	return &(*sl)[n&dirSlabMask]
 }
 
 // Entry returns a copy of the directory entry for tests and the oracular
 // replica directory (which consults home state with oracle knowledge).
 func (d *HomeDir) Entry(l topology.Line) (state cache.State, owner int, sharers [2]bool) {
-	e, ok := d.entries[l]
+	i, ok := d.entries[l]
 	if !ok {
 		return cache.Invalid, -1, [2]bool{}
 	}
+	e := d.at(i)
 	return e.state, int(e.owner), e.sharers
 }
 
@@ -94,20 +122,10 @@ func (d *HomeDir) dbg(l topology.Line, format string, args ...any) {
 // seq serializes a transaction on a line: it pays the directory access
 // latency, waits for any in-flight transaction on the line, and passes a
 // release function that must be called exactly once when the transaction
-// completes.
+// completes. The dispatch itself is pooled and allocation-free
+// (cache.Sequencer); only the transaction body closure remains per-call.
 func (d *HomeDir) seq(l topology.Line, fn func(release func())) {
-	d.sys.Eng.Schedule(sim.Cycle(d.sys.Cfg.DirLatencyCyc), func() {
-		if d.mshr.Busy(l) {
-			d.mshr.Defer(l, func() { d.seq(l, fn) })
-			return
-		}
-		d.mshr.Allocate(l)
-		fn(func() {
-			for _, w := range d.mshr.Release(l) {
-				w()
-			}
-		})
-	})
+	d.seqq.Do(l, fn)
 }
 
 // classify records the Fig 7 sharing-pattern class of a request.
@@ -591,7 +609,8 @@ func (d *HomeDir) GrantRegion(base topology.Line, nLines int) bool {
 	step := topology.Line(d.sys.Cfg.LineSizeBytes)
 	for i := 0; i < nLines; i++ {
 		l := base + topology.Line(i)*step
-		if e, ok := d.entries[l]; ok {
+		if idx, ok := d.entries[l]; ok {
+			e := d.at(idx)
 			if (e.state == cache.Modified || e.state == cache.Owned) && int(e.owner) == d.socket {
 				return false
 			}
@@ -621,8 +640,8 @@ func (d *HomeDir) OracleAddSharer(l topology.Line, socket int) {
 // the result — and every deny push scheduled from it — deterministic.
 func (d *HomeDir) LinesOwnedBy(socket int) []topology.Line {
 	var out []topology.Line
-	for _, l := range d.lineOrder {
-		e := d.entries[l]
+	for i, l := range d.lineOrder {
+		e := d.at(int32(i))
 		if (e.state == cache.Modified || e.state == cache.Owned) && int(e.owner) == socket {
 			out = append(out, l)
 		}

@@ -50,7 +50,8 @@ func (s *System) CheckInvariants() []string {
 	// Directory agreement: an M/O entry's owner-side cache must actually
 	// hold the line (the replica agent owns on behalf of its LLC).
 	for _, d := range s.Dirs {
-		for l, e := range d.entries {
+		for i, l := range d.lineOrder {
+			e := d.at(int32(i))
 			if e.state != cache.Modified && e.state != cache.Owned {
 				continue
 			}

@@ -117,6 +117,10 @@ type System struct {
 	anyDead bool
 
 	l1s []*cache.Cache
+
+	// accFree pools access-request records so the L1-miss path schedules
+	// without per-request closure allocations (LIFO reuse: deterministic).
+	accFree []*accessReq
 }
 
 // RAS event kinds reported through System.RASEvent, in escalation-ladder
@@ -299,6 +303,46 @@ func (s *System) coreLatency(core int) sim.Cycle {
 	return s.Mesh.Latency(s.Mesh.CoreTile(local), s.Mesh.HomeTile())
 }
 
+// accessReq carries one L1-miss request through the event queue. The record
+// (and its grant callback) is pooled on the System, so the miss path costs
+// no per-request closure allocations.
+type accessReq struct {
+	s     *System
+	core  int
+	write bool
+	line  topology.Line
+	done  func()
+	// grant is built once per record; it captures only the record itself.
+	grant func()
+}
+
+func (s *System) getAccessReq() *accessReq {
+	if n := len(s.accFree); n > 0 {
+		ar := s.accFree[n-1]
+		s.accFree = s.accFree[:n-1]
+		return ar
+	}
+	ar := &accessReq{s: s}
+	ar.grant = func() {
+		// The L1 fill was applied at grant time (inside Request, so no
+		// probe can slip between the LLC grant and the L1 bookkeeping);
+		// only the return trip to the core remains. Copy the fields out
+		// before recycling: the record may be reissued before done fires.
+		sys, core, done := ar.s, ar.core, ar.done
+		ar.done = nil
+		sys.accFree = append(sys.accFree, ar)
+		sys.Eng.Schedule(sys.coreLatency(core), done)
+	}
+	return ar
+}
+
+// accessDispatch forwards a pooled access request to the requester's LLC.
+func accessDispatch(arg any, _ uint64) {
+	ar := arg.(*accessReq)
+	s := ar.s
+	s.LLCs[s.SocketOf(ar.core)].Request(ar.core, ar.write, ar.line, ar.grant)
+}
+
 // Access issues a memory operation from a core and invokes done when it
 // completes. Reads complete when data reaches the core; writes complete when
 // write permission is held (stores retire into the L1).
@@ -322,14 +366,9 @@ func (s *System) Access(core int, write bool, a topology.Addr, done func()) {
 	}
 	s.Cnt.L1Misses++
 	lat := sim.Cycle(s.Cfg.L1LatencyCyc) + s.coreLatency(core)
-	s.Eng.Schedule(lat, func() {
-		s.LLCs[s.SocketOf(core)].Request(core, write, line, func() {
-			// The L1 fill was applied at grant time (inside Request, so no
-			// probe can slip between the LLC grant and the L1 bookkeeping);
-			// only the return trip to the core remains.
-			s.Eng.Schedule(s.coreLatency(core), done)
-		})
-	})
+	ar := s.getAccessReq()
+	ar.core, ar.write, ar.line, ar.done = core, write, line, done
+	s.Eng.ScheduleFn(lat, accessDispatch, ar, 0)
 }
 
 // l1Fill installs a line into a core's L1 after an LLC grant, updating the

@@ -61,7 +61,7 @@ type ReplicaDir struct {
 	// capacity-bounded store.
 	owners map[topology.Line]bool
 
-	mshr *cache.MSHR
+	seqq *cache.Sequencer
 
 	// fillPending tracks lines with a granted-but-unfilled local demand
 	// transaction (the grant may still be reading the replica DRAM). Home
@@ -92,7 +92,8 @@ func New(sys *coherence.System, socket int, mode Mode) *ReplicaDir {
 		regions:     make(map[uint64]bool),
 		owners:      make(map[topology.Line]bool),
 		fillPending: make(map[topology.Line][]func()),
-		mshr:        cache.NewMSHR(0),
+		seqq: cache.NewSequencer(sys.Eng, sim.Cycle(cfg.DirLatencyCyc),
+			cache.NewMSHR(0)),
 		dirFetchLat: sim.Cycle(cfg.Cycles(cfg.TRCDns+cfg.TCLns)) +
 			10, // activate + CAS + burst for the in-memory directory line
 		oracular: cfg.Oracular,
@@ -131,20 +132,10 @@ func (rd *ReplicaDir) regionOf(l topology.Line) uint64 {
 }
 
 // seq serializes replica-directory transactions per line, paying the
-// directory access latency (same as the home directory, Section VI).
+// directory access latency (same as the home directory, Section VI). The
+// dispatch is pooled and allocation-free (cache.Sequencer).
 func (rd *ReplicaDir) seq(l topology.Line, fn func(release func())) {
-	rd.sys.Eng.Schedule(sim.Cycle(rd.sys.Cfg.DirLatencyCyc), func() {
-		if rd.mshr.Busy(l) {
-			rd.mshr.Defer(l, func() { rd.seq(l, fn) })
-			return
-		}
-		rd.mshr.Allocate(l)
-		fn(func() {
-			for _, w := range rd.mshr.Release(l) {
-				w()
-			}
-		})
-	})
+	rd.seqq.Do(l, fn)
 }
 
 // readReplicaMem reads the line's replica from this socket's local memory,

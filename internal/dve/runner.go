@@ -78,6 +78,10 @@ type runner struct {
 	cfg  *topology.Config
 	nthr int
 
+	// threads holds one reusable issue record per hardware thread, so the
+	// steady-state compute->access->repeat loop allocates nothing per op.
+	threads []*thread
+
 	totalOps uint64
 	budget   uint64
 	roiStart sim.Cycle
@@ -126,6 +130,9 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		if cfg.EpochOps == 0 {
 			cfg.EpochOps = 1
 		}
+	}
+	if cfg.FootprintHintLines == 0 && spec.FootprintMB > 0 && cfg.LineSizeBytes > 0 {
+		cfg.FootprintHintLines = spec.FootprintMB << 20 / cfg.LineSizeBytes
 	}
 	sys := coherence.New(&cfg)
 	sys.Classify = rc.Classify
@@ -178,9 +185,12 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	if rc.Prepare != nil {
 		rc.Prepare(sys)
 	}
+	r.threads = make([]*thread, r.nthr)
 	for t := 0; t < r.nthr; t++ {
-		t := t
-		sys.Eng.Schedule(sim.Cycle(t), func() { r.issue(t) })
+		tc := &thread{r: r, t: t}
+		tc.done = tc.accessDone
+		r.threads[t] = tc
+		sys.Eng.ScheduleFn(sim.Cycle(t), threadStart, tc, 0)
 	}
 	sys.Eng.Run()
 
@@ -213,6 +223,34 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	return res, nil
 }
 
+// thread is the reusable per-thread issue record: the in-flight op rides in
+// the record and the done callback is built once, so issuing an op performs
+// no per-op allocation.
+type thread struct {
+	r    *runner
+	t    int
+	op   workload.Op
+	done func()
+}
+
+// accessDone completes one memory operation and issues the next.
+func (tc *thread) accessDone() {
+	tc.r.completed()
+	tc.r.issue(tc.t)
+}
+
+// threadStart fires a thread's first issue (staggered by thread index).
+func threadStart(arg any, _ uint64) {
+	tc := arg.(*thread)
+	tc.r.issue(tc.t)
+}
+
+// issueAccess runs after the op's compute delay and starts the memory access.
+func issueAccess(arg any, _ uint64) {
+	tc := arg.(*thread)
+	tc.r.sys.Access(tc.t, tc.op.Kind == workload.Write, tc.op.Addr, tc.done)
+}
+
 // issue drives one thread: compute, access, repeat.
 func (r *runner) issue(t int) {
 	if r.totalOps >= r.budget {
@@ -224,12 +262,9 @@ func (r *runner) issue(t int) {
 		r.barrier(t)
 		return
 	}
-	r.sys.Eng.Schedule(sim.Cycle(op.Compute), func() {
-		r.sys.Access(t, op.Kind == workload.Write, op.Addr, func() {
-			r.completed()
-			r.issue(t)
-		})
-	})
+	tc := r.threads[t]
+	tc.op = op
+	r.sys.Eng.ScheduleFn(sim.Cycle(op.Compute), issueAccess, tc, 0)
 }
 
 // completed advances the global op counter and ROI bookkeeping.

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dve/internal/dve"
+	"dve/internal/perf"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+// benchMatrix is the fixed (workload, protocol) set the bench experiment
+// measures: a baseline run (no replica machinery), the deny protocol on two
+// contrasting sharing mixes, and the dynamic protocol (which exercises both
+// families plus the switch path). Small enough for a CI smoke job, varied
+// enough to notice a regression in any hot subsystem.
+var benchMatrix = []struct {
+	workload string
+	protocol topology.Protocol
+}{
+	{"fft", topology.ProtoBaseline},
+	{"fft", topology.ProtoDeny},
+	{"graph500", topology.ProtoDeny},
+	{"canneal", topology.ProtoDynamic},
+}
+
+// Bench measures the simulator's own performance: each matrix cell runs
+// serially under perf.Measure (parallel runs would pollute each other's
+// wall time and MemStats deltas) and the measurements land in a perf.Report
+// ready to be written as BENCH_<scale>.json.
+func (r Runner) Bench(scaleName string) (*perf.Report, error) {
+	rep := perf.NewReport(scaleName)
+	for _, c := range benchMatrix {
+		spec, ok := workload.ByName(c.workload, 16)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown workload %q", c.workload)
+		}
+		var res *dve.Result
+		var err error
+		run := perf.Measure(c.workload, c.protocol.String(), func() (uint64, uint64) {
+			res, err = r.runOne(spec, topology.Default(c.protocol), false)
+			if err != nil {
+				return 0, 0
+			}
+			return r.Scale.WarmupOps + r.Scale.MeasureOps, res.Cycles
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s/%s: %w", c.workload, c.protocol, err)
+		}
+		rep.Add(run)
+	}
+	return rep, nil
+}
+
+// FormatBench renders a perf report as a human-readable table.
+func FormatBench(rep *perf.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator performance (%s scale, %s %s/%s)\n",
+		rep.Scale, rep.GoVersion, rep.GOOS, rep.GOARCH)
+	fmt.Fprintf(&b, "%-12s %-14s %10s %12s %12s %12s\n",
+		"workload", "protocol", "wall ms", "kops/s", "allocs/op", "B/op")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "%-12s %-14s %10.1f %12.0f %12.2f %12.1f\n",
+			r.Workload, r.Protocol, r.WallMS, r.OpsPerSec/1e3, r.AllocsPerOp, r.BytesPerOp)
+	}
+	return b.String()
+}

@@ -140,6 +140,12 @@ func (mc *Controller) access(chIdx int, co topology.DRAMCoord, isWrite bool) sim
 	return done
 }
 
+// readReply adapts a read completion onto the engine's typed fast path:
+// arg is the caller's func(failed bool) and v != 0 means the local ECC
+// check failed. Func values are pointer-shaped, so scheduling this way
+// allocates nothing per read.
+func readReply(arg any, v uint64) { arg.(func(bool))(v != 0) }
+
 // Read issues a DRAM read for the address and invokes fn when data (and its
 // local ECC check) would be available. failed=true means the local ECC
 // check detected an error it cannot correct, so the caller must recover via
@@ -150,7 +156,7 @@ func (mc *Controller) Read(a topology.Addr, fn func(failed bool)) {
 		// bank or bus is occupied.
 		mc.DeadReads++
 		mc.FailedReads++
-		mc.eng.Schedule(mc.tCL, func() { fn(true) })
+		mc.eng.ScheduleFn(mc.tCL, readReply, fn, 1)
 		return
 	}
 	co := mc.amap.Decode(a)
@@ -162,12 +168,12 @@ func (mc *Controller) Read(a topology.Addr, fn func(failed bool)) {
 		ch = mc.pickMirrorChannel(co)
 	}
 	done := mc.access(ch, co, false)
-	failed := false
+	failed := uint64(0)
 	if mc.FaultFn != nil && mc.FaultFn(a) {
-		failed = true
+		failed = 1
 		mc.FailedReads++
 	}
-	mc.eng.At(done, func() { fn(failed) })
+	mc.eng.AtFn(done, readReply, fn, failed)
 }
 
 // pickMirrorChannel chooses the mirror copy whose bank frees earliest.

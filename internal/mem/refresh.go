@@ -35,9 +35,16 @@ func (mc *Controller) EnableRefresh() {
 		return
 	}
 	mc.refreshOn = true
+	// Pre-size each channel's hammer map for the distinct rows the footprint
+	// spans on this socket (activations cluster on touched rows, so this is
+	// the steady-state population).
+	rowHint := 0
+	if h := mc.cfg.FootprintHintLines; h > 0 {
+		rowHint = h * mc.cfg.LineSizeBytes / mc.cfg.RowBufferBytes / mc.cfg.Sockets
+	}
 	mc.hammer = make([]map[uint64]uint32, len(mc.channels))
 	for i := range mc.hammer {
-		mc.hammer[i] = make(map[uint64]uint32)
+		mc.hammer[i] = make(map[uint64]uint32, rowHint)
 	}
 	interval := sim.Cycle(mc.cfg.Cycles(tREFIns))
 	blocked := sim.Cycle(mc.cfg.Cycles(tRFCns))
@@ -60,11 +67,12 @@ func (mc *Controller) EnableRefresh() {
 			mc.Refreshes++
 		}
 		// A full retention window ends: hammer counters restart (each row
-		// has been refreshed once).
+		// has been refreshed once). clear keeps the maps' capacity, so a
+		// steady-state window allocates nothing.
 		mc.refreshTicks++
 		if mc.refreshTicks%ticksPerREFW == 0 {
 			for ci := range mc.hammer {
-				mc.hammer[ci] = make(map[uint64]uint32)
+				clear(mc.hammer[ci])
 			}
 		}
 		mc.eng.ScheduleDaemon(interval, tick)

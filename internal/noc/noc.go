@@ -81,13 +81,12 @@ func NewLink(eng *sim.Engine, latency sim.Cycle) *Link {
 // Latency returns the configured one-way propagation latency.
 func (l *Link) Latency() sim.Cycle { return l.latency }
 
-// Send transmits bytes from socket src to the other socket and invokes fn on
-// delivery. Delivery time = serialization (bandwidth) + propagation latency,
-// with per-direction queuing when the link is busy.
-func (l *Link) Send(src int, bytes int, fn func()) {
+// deliveryTime reserves the src->dst direction for the message and returns
+// its delivery cycle: serialization (bandwidth) + propagation latency, with
+// per-direction queuing when the link is busy.
+func (l *Link) deliveryTime(src, bytes int) sim.Cycle {
 	dir := src & 1
-	now := l.eng.Now()
-	start := now
+	start := l.eng.Now()
 	if l.nextFree[dir] > start {
 		start = l.nextFree[dir]
 	}
@@ -95,7 +94,21 @@ func (l *Link) Send(src int, bytes int, fn func()) {
 	l.nextFree[dir] = start + ser
 	l.Msgs++
 	l.Bytes += uint64(bytes)
-	l.eng.At(start+ser+l.latency, fn)
+	return start + ser + l.latency
+}
+
+// Send transmits bytes from socket src to the other socket and invokes fn on
+// delivery. Scheduling a prebuilt func() is allocation-free; callers that
+// would otherwise build a closure per message can use SendFn instead.
+func (l *Link) Send(src int, bytes int, fn func()) {
+	l.eng.At(l.deliveryTime(src, bytes), fn)
+}
+
+// SendFn is the typed fast path of Send: h(arg, v) runs on delivery. With a
+// package-level Handler and a pooled (pointer-shaped) arg the whole send is
+// allocation-free.
+func (l *Link) SendFn(src, bytes int, h sim.Handler, arg any, v uint64) {
+	l.eng.AtFn(l.deliveryTime(src, bytes), h, arg, v)
 }
 
 // Reset clears the traffic counters (the queue state is left alone).

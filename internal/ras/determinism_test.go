@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
+	"dve/internal/experiments"
 	"dve/internal/fault"
 	"dve/internal/topology"
 )
@@ -61,5 +63,61 @@ func TestJournalFilesByteIdentical(t *testing.T) {
 	b := journalFile(t.TempDir())
 	if !bytes.Equal(a, b) {
 		t.Fatalf("journal files differ between identical runs: %d vs %d bytes (run is not a pure function of scenario+seed)", len(a), len(b))
+	}
+}
+
+// TestQuickScaleRunTwiceByteIdentical replays a campaign at the experiments
+// package's Quick scale — the same operation count CI and the bench
+// experiment use — and demands two same-seed runs agree byte-for-byte on
+// the journal and exactly on cycles and counters. The short journal test
+// above catches coarse divergence fast; this one gives nondeterminism with
+// a long fuse (a pooled record reused in a different order, a map iteration
+// deep in a rare path) 120k operations of fault-riddled simulation to
+// surface before it can corrupt a paper figure.
+func TestQuickScaleRunTwiceByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale replay takes a few seconds")
+	}
+	sc := Scenario{
+		Name: "quickreplay", Workload: "graph500", Protocol: topology.ProtoDynamic,
+		Inject: &InjectorConfig{
+			MeanArrivalCyc: 4_000, MaxFaults: 64,
+			Kinds:            []fault.Kind{fault.Cell, fault.Row, fault.Bank},
+			TransientLifeCyc: 40_000, IntermittentLifeCyc: 80_000,
+			DutyPct: 50, HardenPct: 30,
+		},
+		ScrubIntervalCyc: 10_000, ScrubBatch: 8,
+		AllowDUE: true,
+	}
+	type outcome struct {
+		cycles   uint64
+		counters any
+		journal  []byte
+	}
+	run := func(dir string) outcome {
+		res, err := RunCampaign(CampaignConfig{
+			Seeds: []int64{7}, MeasureOps: experiments.Quick.MeasureOps,
+			Scenarios: []Scenario{sc}, OutDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := res.Runs[0]
+		j, err := os.ReadFile(rep.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{cycles: rep.Cycles, counters: rep.Counters, journal: j}
+	}
+	a := run(t.TempDir())
+	b := run(t.TempDir())
+	if a.cycles != b.cycles {
+		t.Errorf("cycles differ between identical runs: %d vs %d", a.cycles, b.cycles)
+	}
+	if !reflect.DeepEqual(a.counters, b.counters) {
+		t.Errorf("counters differ between identical runs:\n  %+v\n  %+v", a.counters, b.counters)
+	}
+	if !bytes.Equal(a.journal, b.journal) {
+		t.Errorf("journals differ between identical runs: %d vs %d bytes", len(a.journal), len(b.journal))
 	}
 }

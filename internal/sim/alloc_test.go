@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// The engine's zero-alloc contract: once bucket and free-list capacity has
+// grown to the working set, scheduling and dispatching events allocates
+// nothing. These tests pin that with testing.AllocsPerRun so a regression
+// (say, reintroducing per-event boxing) fails loudly instead of quietly
+// slowing every experiment.
+//
+// Each batch ends with an event exactly one ring revolution after its start,
+// so every batch lands in the same calendar buckets and the single warm-up
+// batch grows all the capacity the measured batches need. (A real simulation
+// reaches the same steady state by warming buckets as time wraps the ring.)
+
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	batch := func() {
+		for i := 0; i < 4096; i++ {
+			e.Schedule(benchDelays[i%len(benchDelays)], fn)
+		}
+		e.Schedule(ringSize, fn) // align the next batch to the same buckets
+		e.Run()
+	}
+	batch() // grow bucket/heap capacity to the working set
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Fatalf("steady-state Schedule+Run allocated %.2f times per batch, want 0", allocs)
+	}
+}
+
+// addHandler is the typed-path handler under test; package-level so that
+// scheduling it is allocation-free.
+func addHandler(arg any, v uint64) { *arg.(*uint64) += v }
+
+func TestScheduleFnSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	var total uint64
+	batch := func() {
+		for i := 0; i < 4096; i++ {
+			e.ScheduleFn(benchDelays[i%len(benchDelays)], addHandler, &total, 1)
+		}
+		e.ScheduleFn(ringSize, addHandler, &total, 0)
+		e.Run()
+	}
+	batch()
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Fatalf("steady-state ScheduleFn+Run allocated %.2f times per batch, want 0", allocs)
+	}
+	if total == 0 {
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestDaemonScheduleSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	var ticks uint64
+	batch := func() {
+		// A daemon heartbeat plus the demand events that keep Run alive.
+		e.ScheduleDaemonFn(1, addHandler, &ticks, 1)
+		for i := 0; i < 256; i++ {
+			e.ScheduleFn(benchDelays[i%len(benchDelays)], addHandler, &ticks, 0)
+		}
+		e.ScheduleFn(ringSize, addHandler, &ticks, 0)
+		e.Run()
+	}
+	batch()
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Fatalf("steady-state daemon scheduling allocated %.2f times per batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// benchDelays approximates the simulator's real delay mix: directory and
+// LLC latencies (20), DRAM access legs (~40-130), link crossings (~150-160),
+// zero-delay continuations, retry backoffs, and the occasional far-future
+// event (scrub ticks) that lands in the overflow structure.
+var benchDelays = [...]Cycle{0, 1, 20, 20, 43, 60, 10, 130, 150, 0, 16, 2500}
+
+// BenchmarkEngineSchedule measures the enqueue path alone: events are
+// scheduled in batches and drained off the timer.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; {
+		k := batch
+		if b.N-n < k {
+			k = b.N - n
+		}
+		for i := 0; i < k; i++ {
+			e.Schedule(benchDelays[i%len(benchDelays)], fn)
+		}
+		b.StopTimer()
+		e.Run()
+		b.StartTimer()
+		n += k
+	}
+}
+
+// BenchmarkEngineRun measures the full schedule+dispatch round trip per
+// event, the cost every simulated transaction pays several times over.
+func BenchmarkEngineRun(b *testing.B) {
+	e := NewEngine()
+	fired := 0
+	fn := func() { fired++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; {
+		k := batch
+		if b.N-n < k {
+			k = b.N - n
+		}
+		for i := 0; i < k; i++ {
+			e.Schedule(benchDelays[i%len(benchDelays)], fn)
+		}
+		e.Run()
+		n += k
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
+}
+
+// BenchmarkEngineRunChained measures dispatch under the simulator's actual
+// shape: a fixed population of self-rescheduling actors (like cores issuing
+// back-to-back operations), so the pending set stays small and hot.
+func BenchmarkEngineRunChained(b *testing.B) {
+	e := NewEngine()
+	const actors = 16
+	fired, budget := 0, b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	var step func()
+	step = func() {
+		fired++
+		if budget > 0 {
+			budget--
+			e.Schedule(benchDelays[fired%len(benchDelays)], step)
+		}
+	}
+	for i := 0; i < actors && budget > 0; i++ {
+		budget--
+		e.Schedule(Cycle(i), step)
+	}
+	e.Run()
+	if fired != b.N {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
+}

@@ -92,6 +92,12 @@ type Config struct {
 	// Dynamic protocol sampling (Section V-C5).
 	SampleOps uint64 // profile phase length per scheme, in ops
 	EpochOps  uint64 // total epoch length in ops
+
+	// FootprintHintLines is the expected number of distinct cache lines the
+	// run will touch (derived from the workload footprint). It only pre-sizes
+	// directory and row-hammer tracking structures — capacity hints never
+	// change simulated behaviour. 0 means no hint.
+	FootprintHintLines int
 }
 
 // Default returns the Table II configuration with the given protocol.
