@@ -18,6 +18,7 @@ import (
 
 	"dve/internal/experiments"
 	"dve/internal/perf"
+	"dve/internal/results"
 	"dve/internal/stats"
 )
 
@@ -27,6 +28,9 @@ func main() {
 		scale    = flag.String("scale", "standard", "quick|standard|full")
 		parallel = flag.Int("parallel", 8, "concurrent simulations")
 		jsonOut  = flag.String("json", "", "with -experiment bench: write the perf report to this BENCH_*.json file")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no caching)")
+		minHit   = flag.Float64("min-cache-hit", 0, "fail if the cache hit rate ends below this fraction (CI guard)")
+		retries  = flag.Int("retries", 0, "per-cell retry budget")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
@@ -43,17 +47,33 @@ func main() {
 		}
 	}()
 
-	r := experiments.Runner{Parallelism: *parallel}
-	switch *scale {
-	case "quick":
-		r.Scale = experiments.Quick
-	case "standard":
-		r.Scale = experiments.Standard
-	case "full":
-		r.Scale = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "dvebench: unknown scale %q\n", *scale)
-		os.Exit(1)
+	r := experiments.Runner{Parallelism: *parallel, Retries: *retries}
+	r.Scale, err = experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var store *results.Store
+	if *cacheDir != "" {
+		store, err = results.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		r.Cache = store
+	}
+	// The cache report runs after every experiment path, including the
+	// -min-cache-hit CI guard (a cold cache with a threshold set means the
+	// caching layer regressed).
+	checkCache := func() {
+		if store == nil {
+			return
+		}
+		s := store.Stats()
+		fmt.Fprintf(os.Stderr, "dvebench: cache %s\n", s)
+		if *minHit > 0 && s.HitRate() < *minHit {
+			fmt.Fprintf(os.Stderr, "dvebench: cache hit rate %.1f%% below required %.1f%%\n",
+				100*s.HitRate(), 100**minHit)
+			os.Exit(1)
+		}
 	}
 
 	// bench measures the simulator itself rather than the paper's results;
@@ -70,6 +90,7 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
+		checkCache()
 		return
 	}
 
@@ -132,6 +153,7 @@ func main() {
 		}
 		fmt.Println(experiments.FormatFaultCampaign(fc))
 	}
+	checkCache()
 	fmt.Printf("(completed in %v)\n", sw.ElapsedRounded(time.Millisecond))
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"dve/internal/coherence"
 	"dve/internal/ras"
+	"dve/internal/results"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		nseeds   = flag.Int("seeds", 3, "seeds per scenario (seed values 1..N)")
 		ops      = flag.Uint64("ops", 50_000, "memory operations per run")
 		out      = flag.String("out", "ras-journals", "journal output directory (empty = no journals)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = no caching)")
 		scenario = flag.String("scenario", "", "run only the named scenario (default: all)")
 		verbose  = flag.Bool("v", false, "print per-run event and counter detail")
 		list     = flag.Bool("list", false, "list scenarios and exit")
@@ -64,11 +66,21 @@ func main() {
 		OutDir:     *out,
 		Progress:   func(r ras.RunReport) { report(r, *verbose) },
 	}
+	if *cacheDir != "" {
+		store, err := results.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cc.Cache = store
+	}
 	res, err := ras.RunCampaign(cc)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\n%d runs, %d failed\n", len(res.Runs), res.Failures)
+	if cc.Cache != nil {
+		fmt.Fprintf(os.Stderr, "dvecampaign: cache %s\n", cc.Cache.Stats())
+	}
 	if res.Failures > 0 {
 		os.Exit(1)
 	}

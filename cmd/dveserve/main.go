@@ -1,0 +1,90 @@
+// Command dveserve runs the sweep service: an HTTP front end over the
+// experiment runner and the content-addressed result cache, so repeated
+// sweeps across a team or a CI fleet pay for each simulation cell once.
+//
+// Usage:
+//
+//	dveserve -addr :8437 -cache .dvecache -scale quick -workers 4 -queue 64
+//
+//	curl -X POST localhost:8437/run \
+//	     -d '{"workloads":["fft","lbm"],"protocols":["baseline","deny"]}'
+//	curl localhost:8437/result/<key>
+//	curl localhost:8437/metrics
+//
+// SIGTERM (or Ctrl-C) drains gracefully: intake stops with 503, queued
+// cells finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dve/internal/experiments"
+	"dve/internal/results"
+	"dve/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8437", "listen address")
+		cacheDir = flag.String("cache", ".dvecache", "result cache directory")
+		scale    = flag.String("scale", "quick", "quick|standard|full")
+		workers  = flag.Int("workers", 4, "simulation worker pool size")
+		queue    = flag.Int("queue", 64, "queued-cell bound (enqueues past it get 429)")
+		retries  = flag.Int("retries", 1, "per-cell retry budget")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := results.Open(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Runner: experiments.Runner{
+			Scale:       sc,
+			Parallelism: *workers,
+			Cache:       store,
+			Retries:     *retries,
+		},
+		Workers:    *workers,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.Start()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dveserve: listening on %s (scale %s, %d workers, queue %d, cache %s)\n",
+		*addr, *scale, *workers, *queue, store.Dir())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dveserve: draining (queued cells will finish)")
+	srv.Drain()
+	if err := hs.Shutdown(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dveserve: drained; cache %s\n", store.Stats())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dveserve:", err)
+	os.Exit(1)
+}

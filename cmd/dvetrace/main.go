@@ -78,8 +78,12 @@ func main() {
 				barriers++
 			}
 		}
-		fmt.Printf("threads: %d\nreads:   %d\nwrites:  %d\nbarriers: %d\n",
-			tr.Threads, reads, writes, barriers)
+		hdrOps := "unknown (producer could not seek)"
+		if tr.Ops > 0 {
+			hdrOps = fmt.Sprintf("%d", tr.Ops)
+		}
+		fmt.Printf("threads: %d\nheader ops: %s\nreads:   %d\nwrites:  %d\nbarriers: %d\n",
+			tr.Threads, hdrOps, reads, writes, barriers)
 		for t := 0; t < tr.Threads; t++ {
 			fmt.Printf("  thread %2d: %d ops\n", t, perThread[uint8(t)])
 		}
@@ -94,18 +98,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var p topology.Protocol
-		switch *proto {
-		case "baseline":
-			p = topology.ProtoBaseline
-		case "allow":
-			p = topology.ProtoAllow
-		case "deny":
-			p = topology.ProtoDeny
-		case "dynamic":
-			p = topology.ProtoDynamic
-		default:
-			fatal(fmt.Errorf("unknown protocol %q", *proto))
+		p, err := topology.ParseProtocol(*proto)
+		if err != nil {
+			fatal(err)
 		}
 		spec := workload.Spec{Name: "trace", Threads: src.Threads(), FootprintMB: 1}
 		res, err := idve.Run(spec, idve.RunConfig{

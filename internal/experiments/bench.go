@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"dve/internal/dve"
 	"dve/internal/perf"
+	"dve/internal/results"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -25,10 +27,27 @@ var benchMatrix = []struct {
 	{"canneal", topology.ProtoDynamic},
 }
 
+// benchKey addresses one bench measurement. Unlike simulation cells, a
+// bench run measures the *simulator* (wall time, allocations), so the Go
+// toolchain and platform are part of what the numbers are a function of and
+// join the key; a cached entry replays the cold run's measurements, which
+// keeps a repeated bench report byte-identical.
+type benchKey struct {
+	Workload   workload.Spec   `json:"workload"`
+	Config     topology.Config `json:"config"`
+	WarmupOps  uint64          `json:"warmup_ops"`
+	MeasureOps uint64          `json:"measure_ops"`
+	Scale      string          `json:"scale"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+}
+
 // Bench measures the simulator's own performance: each matrix cell runs
 // serially under perf.Measure (parallel runs would pollute each other's
 // wall time and MemStats deltas) and the measurements land in a perf.Report
-// ready to be written as BENCH_<scale>.json.
+// ready to be written as BENCH_<scale>.json. With a cache configured,
+// previously measured cells are replayed from disk instead of re-run.
 func (r Runner) Bench(scaleName string) (*perf.Report, error) {
 	rep := perf.NewReport(scaleName)
 	for _, c := range benchMatrix {
@@ -36,10 +55,33 @@ func (r Runner) Bench(scaleName string) (*perf.Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown workload %q", c.workload)
 		}
+		cfg := topology.Default(c.protocol)
+		var key results.Key
+		if r.Cache != nil {
+			k, err := results.HashKey("bench", benchKey{
+				Workload:   spec,
+				Config:     cfg,
+				WarmupOps:  r.Scale.WarmupOps,
+				MeasureOps: r.Scale.MeasureOps,
+				Scale:      scaleName,
+				GoVersion:  runtime.Version(),
+				GOOS:       runtime.GOOS,
+				GOARCH:     runtime.GOARCH,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", c.workload, c.protocol, err)
+			}
+			key = k
+			var cached perf.Run
+			if r.Cache.Get(key, &cached) {
+				rep.Add(cached)
+				continue
+			}
+		}
 		var res *dve.Result
 		var err error
 		run := perf.Measure(c.workload, c.protocol.String(), func() (uint64, uint64) {
-			res, err = r.runOne(spec, topology.Default(c.protocol), false)
+			res, err = r.runOne(spec, cfg, false)
 			if err != nil {
 				return 0, 0
 			}
@@ -47,6 +89,11 @@ func (r Runner) Bench(scaleName string) (*perf.Report, error) {
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench %s/%s: %w", c.workload, c.protocol, err)
+		}
+		if r.Cache != nil {
+			if err := r.Cache.Put(key, run); err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", c.workload, c.protocol, err)
+			}
 		}
 		rep.Add(run)
 	}

@@ -7,12 +7,15 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
 	"dve/internal/dve"
 	"dve/internal/energy"
+	"dve/internal/results"
 	"dve/internal/stats"
 	"dve/internal/topology"
 	"dve/internal/workload"
@@ -32,6 +35,19 @@ var (
 	Full     = Scale{WarmupOps: 400_000, MeasureOps: 1_200_000}
 )
 
+// ScaleByName resolves the CLI scale names.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "standard":
+		return Standard, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (quick|standard|full)", name)
+}
+
 // Runner executes simulation matrices.
 type Runner struct {
 	Scale Scale
@@ -39,8 +55,18 @@ type Runner struct {
 	// and deterministic). 0 means 8.
 	Parallelism int
 	// Workloads restricts the benchmark set (nil = the full Table III
-	// suite).
+	// suite). Unknown names are an error, not a silent shrink: a typo must
+	// not quietly drop a column from a paper figure.
 	Workloads []string
+	// Cache, when set, is consulted before every cell simulation and filled
+	// with the results of cells that had to run, so a repeated matrix is
+	// served from disk (see internal/results for the key scheme).
+	Cache *results.Store
+	// Retries re-runs a failed cell up to this many additional times before
+	// the failure is reported. The simulation itself is deterministic, so
+	// this only absorbs host-level failures (an evicted cache file, an I/O
+	// hiccup), not simulation bugs.
+	Retries int
 }
 
 func (r Runner) parallelism() int {
@@ -50,18 +76,22 @@ func (r Runner) parallelism() int {
 	return r.Parallelism
 }
 
-func (r Runner) suite() []workload.Spec {
-	all := Suite()
+// suite resolves Runner.Workloads against the Table III set. Every name
+// must resolve; the error says which one did not so a misspelled sweep
+// fails loudly instead of silently shrinking.
+func (r Runner) suite() ([]workload.Spec, error) {
 	if r.Workloads == nil {
-		return all
+		return Suite(), nil
 	}
-	var out []workload.Spec
+	out := make([]workload.Spec, 0, len(r.Workloads))
 	for _, name := range r.Workloads {
-		if s, ok := workload.ByName(name, 16); ok {
-			out = append(out, s)
+		s, ok := workload.ByName(name, 16)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q in Runner.Workloads", name)
 		}
+		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
 // Suite returns the full Table III benchmark set used by the experiments.
@@ -77,6 +107,65 @@ func (r Runner) runOne(spec workload.Spec, cfg topology.Config, classify bool) (
 	})
 }
 
+// CellKey returns the content address of one simulation cell at the
+// runner's scale: the hash of everything the result is a function of.
+func (r Runner) CellKey(spec workload.Spec, cfg topology.Config, classify bool) (results.Key, error) {
+	return results.CellKey{
+		Workload:   spec,
+		Config:     cfg,
+		WarmupOps:  r.Scale.WarmupOps,
+		MeasureOps: r.Scale.MeasureOps,
+		Classify:   classify,
+		Seed:       spec.Seed,
+	}.Hash()
+}
+
+// runRetry is runOne with the runner's per-cell retry budget; on final
+// failure every attempt's error is reported.
+func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, error) {
+	var errs []error
+	for attempt := 0; ; attempt++ {
+		res, err := r.runOne(spec, cfg, classify)
+		if err == nil {
+			return res, nil
+		}
+		errs = append(errs, fmt.Errorf("attempt %d: %w", attempt+1, err))
+		if attempt >= r.Retries {
+			return nil, errors.Join(errs...)
+		}
+	}
+}
+
+// RunCell runs one cell through the cache: a valid cached result is
+// returned without simulating (hit = true); otherwise the cell is simulated
+// (with retries) and the result stored. With no cache configured it always
+// simulates. The sweep service and the figure matrices share this path.
+func (r Runner) RunCell(spec workload.Spec, cfg topology.Config, classify bool) (res *dve.Result, hit bool, err error) {
+	if r.Cache == nil {
+		res, err = r.runRetry(spec, cfg, classify)
+		return res, false, err
+	}
+	key, err := r.CellKey(spec, cfg, classify)
+	if err != nil {
+		return nil, false, err
+	}
+	var cached dve.Result
+	if r.Cache.Get(key, &cached) {
+		return &cached, true, nil
+	}
+	res, err = r.runRetry(spec, cfg, classify)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := r.Cache.Put(key, res); err != nil {
+		// A result we cannot store is still a failure worth surfacing: the
+		// caller asked for a cached sweep and would silently lose the
+		// speedup on every future run.
+		return res, false, fmt.Errorf("caching %s/%s: %w", spec.Name, cfg.Protocol, err)
+	}
+	return res, false, nil
+}
+
 // cell identifies one simulation of a matrix.
 type cell struct {
 	spec     workload.Spec
@@ -86,11 +175,13 @@ type cell struct {
 }
 
 // runMatrix executes all cells with bounded parallelism and returns results
-// keyed by (workload, variant).
+// keyed by (workload, variant). Cells run through the cache (RunCell). All
+// failures are reported, not just the first: the returned error joins every
+// failed cell, prefixed "workload/variant", in deterministic order.
 func (r Runner) runMatrix(cells []cell) (map[string]*dve.Result, error) {
 	out := make(map[string]*dve.Result, len(cells))
 	var mu sync.Mutex
-	var firstErr error
+	var errs []error
 	sem := make(chan struct{}, r.parallelism())
 	var wg sync.WaitGroup
 	for _, c := range cells {
@@ -100,20 +191,24 @@ func (r Runner) runMatrix(cells []cell) (map[string]*dve.Result, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := r.runOne(c.spec, c.cfg, c.classify)
+			res, _, err := r.RunCell(c.spec, c.cfg, c.classify)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", c.spec.Name, c.variant, err)
-				}
+				errs = append(errs, fmt.Errorf("%s/%s: %w", c.spec.Name, c.variant, err))
 				return
 			}
 			out[c.spec.Name+"/"+c.variant] = res
 		}()
 	}
 	wg.Wait()
-	return out, firstErr
+	if len(errs) > 0 {
+		// Completion order is scheduling-dependent; sort so the joined
+		// error message is deterministic.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return out, fmt.Errorf("%d of %d cells failed: %w", len(errs), len(cells), errors.Join(errs...))
+	}
+	return out, nil
 }
 
 // Row is one benchmark's results across scheme variants.
@@ -172,8 +267,12 @@ func (r Runner) Perf() (*PerfResult, error) {
 		topology.ProtoBaseline, topology.ProtoAllow, topology.ProtoDeny,
 		topology.ProtoDynamic, topology.ProtoIntelMirror,
 	}
+	specs, err := r.suite()
+	if err != nil {
+		return nil, err
+	}
 	var cells []cell
-	for _, spec := range r.suite() {
+	for _, spec := range specs {
 		for _, p := range protos {
 			cells = append(cells, cell{
 				spec: spec, variant: p.String(),
@@ -188,7 +287,7 @@ func (r Runner) Perf() (*PerfResult, error) {
 	}
 	pr := &PerfResult{Schemes: []string{"allow", "deny", "dynamic", "intel-mirror++"}}
 	params := energy.DDR4()
-	for _, spec := range r.suite() {
+	for _, spec := range specs {
 		base := results[spec.Name+"/baseline"]
 		row := Row{
 			Name: spec.Name, MPKI: base.Counters.MPKI(),
@@ -247,9 +346,12 @@ func activity(res *dve.Result, chargeIdle bool) energy.Activity {
 	}
 }
 
+// ratio normalises a against b. A zero denominator means the baseline run
+// was degenerate (e.g. no link traffic at all); that surfaces as NaN so
+// report tables show the breakage rather than a false 0.
 func ratio(a, b uint64) float64 {
 	if b == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(a) / float64(b)
 }

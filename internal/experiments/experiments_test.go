@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
+	"dve/internal/results"
+	"dve/internal/topology"
 	"dve/internal/workload"
 )
 
@@ -164,10 +169,154 @@ func TestSuiteComplete(t *testing.T) {
 	}
 }
 
-func TestRunnerUnknownWorkloadIgnored(t *testing.T) {
-	r := Runner{Scale: Quick, Workloads: []string{"nosuch"}}
-	if len(r.suite()) != 0 {
-		t.Fatal("unknown workload not filtered")
+func TestRunnerUnknownWorkloadErrors(t *testing.T) {
+	// A typo in the workload list must fail the sweep, not silently shrink
+	// it (it used to drop the name and run an incomplete matrix).
+	r := Runner{Scale: Quick, Workloads: []string{"fft", "nosuch"}}
+	if _, err := r.suite(); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("suite() err = %v, want mention of the unknown name", err)
+	}
+	if _, err := r.Perf(); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("Perf() err = %v, want mention of the unknown name", err)
+	}
+	if _, err := r.Fig9(); err == nil {
+		t.Fatal("Fig9() accepted unknown workload")
+	}
+	if _, err := r.Fig10(); err == nil {
+		t.Fatal("Fig10() accepted unknown workload")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for name, want := range map[string]Scale{"quick": Quick, "standard": Standard, "full": Full} {
+		got, err := ScaleByName(name)
+		if err != nil || got != want {
+			t.Fatalf("ScaleByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRatioDegenerateBaseline(t *testing.T) {
+	if got := ratio(5, 10); got != 0.5 {
+		t.Fatalf("ratio(5,10) = %v", got)
+	}
+	// A zero baseline is a broken run: NaN, never a too-good-to-be-true 0.
+	if got := ratio(5, 0); !math.IsNaN(got) {
+		t.Fatalf("ratio(5,0) = %v, want NaN", got)
+	}
+}
+
+func TestRunMatrixAggregatesAllErrors(t *testing.T) {
+	// Two invalid cells (a non-positive footprint fails spec validation)
+	// among one valid cell: both failures must be in the error, and the
+	// message must be deterministic across scheduling orders.
+	good, _ := workload.ByName("fft", 16)
+	badA, badB := good, good
+	badA.Name, badA.FootprintMB = "bad-a", 0
+	badB.Name, badB.FootprintMB = "bad-b", 0
+	cells := []cell{
+		{spec: badA, variant: "deny", cfg: topology.Default(topology.ProtoDeny)},
+		{spec: good, variant: "deny", cfg: topology.Default(topology.ProtoDeny)},
+		{spec: badB, variant: "deny", cfg: topology.Default(topology.ProtoDeny)},
+	}
+	r := Runner{Scale: Scale{WarmupOps: 100, MeasureOps: 200}, Parallelism: 4}
+	var msg string
+	for i := 0; i < 3; i++ {
+		out, err := r.runMatrix(cells)
+		if err == nil {
+			t.Fatal("runMatrix succeeded with broken cells")
+		}
+		for _, want := range []string{"2 of 3 cells failed", "bad-a/deny", "bad-b/deny"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q missing %q", err, want)
+			}
+		}
+		if _, ok := out["fft/deny"]; !ok {
+			t.Fatal("healthy cell missing from partial results")
+		}
+		if i == 0 {
+			msg = err.Error()
+		} else if err.Error() != msg {
+			t.Fatal("joined error message not deterministic across runs")
+		}
+	}
+}
+
+func TestRunCellRetries(t *testing.T) {
+	bad, _ := workload.ByName("fft", 16)
+	bad.FootprintMB = 0
+	r := Runner{Scale: Scale{WarmupOps: 10, MeasureOps: 10}, Retries: 2}
+	_, _, err := r.RunCell(bad, topology.Default(topology.ProtoBaseline), false)
+	if err == nil {
+		t.Fatal("RunCell succeeded with a broken spec")
+	}
+	for _, want := range []string{"attempt 1:", "attempt 3:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMatrixCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix")
+	}
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{Scale: Quick, Parallelism: 8, Workloads: []string{"fft", "lbm"}, Cache: store}
+	cold, err := r.Perf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := store.Stats(); s.Hits != 0 || s.Puts == 0 {
+		t.Fatalf("cold pass stats %v, want all misses and some puts", s)
+	}
+	warm, err := r.Perf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := store.Stats(); s.Misses != s.Puts || s.Hits != s.Puts {
+		t.Fatalf("warm pass stats %v, want every cold miss answered by a hit", s)
+	}
+	// The cached matrix reproduces the simulated one exactly.
+	coldJSON, _ := json.Marshal(cold)
+	warmJSON, _ := json.Marshal(warm)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatal("cached Perf result differs from the simulated one")
+	}
+}
+
+func TestBenchCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix")
+	}
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{Scale: Scale{WarmupOps: 2_000, MeasureOps: 5_000}, Cache: store}
+	cold, err := r.Bench("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.Bench("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock measurements are replayed, not re-measured, so repeated
+	// bench reports are byte-identical.
+	coldJSON, _ := json.MarshalIndent(cold, "", "  ")
+	warmJSON, _ := json.MarshalIndent(warm, "", "  ")
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatalf("warm bench report differs from cold:\n%s\n---\n%s", coldJSON, warmJSON)
+	}
+	if s := store.Stats(); s.Hits != uint64(len(warm.Runs)) {
+		t.Fatalf("warm bench stats %v, want %d hits", s, len(warm.Runs))
 	}
 }
 

@@ -141,8 +141,12 @@ func (r Runner) Fig9() (*PerfResult, error) {
 		}
 		return cfg
 	}
+	specs, err := r.suite()
+	if err != nil {
+		return nil, err
+	}
 	var cells []cell
-	for _, spec := range r.suite() {
+	for _, spec := range specs {
 		cells = append(cells, cell{spec: spec, variant: "baseline",
 			cfg: topology.Default(topology.ProtoBaseline)})
 		for _, v := range Fig9Variants {
@@ -154,7 +158,7 @@ func (r Runner) Fig9() (*PerfResult, error) {
 		return nil, err
 	}
 	pr := &PerfResult{Schemes: Fig9Variants}
-	for _, spec := range r.suite() {
+	for _, spec := range specs {
 		base := results[spec.Name+"/baseline"]
 		row := Row{Name: spec.Name, MPKI: base.Counters.MPKI(),
 			Speedup: map[string]float64{}, Traffic: map[string]float64{},
@@ -194,8 +198,12 @@ type Fig10Result struct {
 // Fig10 sweeps the inter-socket link latency for allow and deny.
 func (r Runner) Fig10() (*Fig10Result, error) {
 	schemes := []topology.Protocol{topology.ProtoAllow, topology.ProtoDeny}
+	specs, err := r.suite()
+	if err != nil {
+		return nil, err
+	}
 	var cells []cell
-	for _, spec := range r.suite() {
+	for _, spec := range specs {
 		for _, ns := range Fig10Latencies {
 			bcfg := topology.Default(topology.ProtoBaseline)
 			bcfg.InterSocketNs = ns
@@ -224,7 +232,7 @@ func (r Runner) Fig10() (*Fig10Result, error) {
 		mpki float64
 	}
 	var order []nameMPKI
-	for _, spec := range r.suite() {
+	for _, spec := range specs {
 		order = append(order, nameMPKI{spec.Name,
 			results[spec.Name+"/baseline-50"].Counters.MPKI()})
 	}

@@ -7,6 +7,7 @@ import (
 
 	"dve/internal/dve"
 	"dve/internal/fault"
+	"dve/internal/results"
 	"dve/internal/stats"
 	"dve/internal/topology"
 	"dve/internal/workload"
@@ -56,8 +57,22 @@ type CampaignConfig struct {
 	// OutDir, when non-empty, receives one JSON RAS journal per run,
 	// named <scenario>-seed<seed>.json.
 	OutDir string
+	// Cache, when set, serves previously executed scenario×seed cells from
+	// disk (keyed by the full scenario definition, the seed and the run
+	// length); journal files are rewritten from the cached journal, so the
+	// OutDir contract holds on hits too.
+	Cache *results.Store
 	// Progress, when set, observes each completed run (CLI reporting).
 	Progress func(r RunReport)
+}
+
+// runKey addresses one campaign cell. The whole Scenario participates:
+// any change to the fault story, protection config or assertions makes a
+// new key.
+type runKey struct {
+	Scenario   Scenario `json:"scenario"`
+	Seed       int64    `json:"seed"`
+	MeasureOps uint64   `json:"measure_ops"`
 }
 
 // RunReport is one run's outcome and its checked assertions.
@@ -120,8 +135,41 @@ func RunCampaign(cc CampaignConfig) (*CampaignResult, error) {
 	return out, nil
 }
 
-// runOne builds and executes a single scenario×seed cell.
+// writeJournal materialises a report's journal under OutDir and records the
+// path, honouring the OutDir contract for fresh and cached runs alike.
+func writeJournal(cc *CampaignConfig, rep *RunReport) error {
+	if cc.OutDir == "" || rep.Journal == nil {
+		return nil
+	}
+	b, err := rep.Journal.Bytes()
+	if err != nil {
+		return err
+	}
+	rep.JournalPath = filepath.Join(cc.OutDir,
+		fmt.Sprintf("%s-seed%d.json", rep.Scenario, rep.Seed))
+	return os.WriteFile(rep.JournalPath, b, 0o644)
+}
+
+// runOne builds and executes a single scenario×seed cell, consulting the
+// campaign cache first when one is configured.
 func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*RunReport, error) {
+	var key results.Key
+	if cc.Cache != nil {
+		k, err := results.HashKey("ras-run", runKey{
+			Scenario: *sc, Seed: seed, MeasureOps: cc.MeasureOps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		key = k
+		var cached RunReport
+		if cc.Cache.Get(key, &cached) {
+			if err := writeJournal(cc, &cached); err != nil {
+				return nil, err
+			}
+			return &cached, nil
+		}
+	}
 	cfg := topology.Default(sc.Protocol)
 	spec, ok := workload.ByName(sc.Workload, cfg.TotalCores())
 	if !ok {
@@ -187,16 +235,16 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 		}
 	}
 
-	if cc.OutDir != "" {
-		b, err := eng.Journal.Bytes()
-		if err != nil {
+	if cc.Cache != nil {
+		// The stored copy carries no JournalPath: where (or whether) the
+		// journal lands on disk is the reader's OutDir choice, not part of
+		// the result.
+		if err := cc.Cache.Put(key, rep); err != nil {
 			return nil, err
 		}
-		rep.JournalPath = filepath.Join(cc.OutDir,
-			fmt.Sprintf("%s-seed%d.json", sc.Name, seed))
-		if err := os.WriteFile(rep.JournalPath, b, 0o644); err != nil {
-			return nil, err
-		}
+	}
+	if err := writeJournal(cc, rep); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

@@ -2,12 +2,14 @@ package ras
 
 import (
 	"bytes"
+	"os"
 	"reflect"
 	"testing"
 
 	"dve/internal/coherence"
 	"dve/internal/dve"
 	"dve/internal/fault"
+	"dve/internal/results"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -250,6 +252,61 @@ func TestInjectorLifecycle(t *testing.T) {
 	} {
 		if got := j.Count(ck.kind); got != ck.n {
 			t.Errorf("journal %q count %d != injector counter %d", ck.kind, got, ck.n)
+		}
+	}
+}
+
+// TestCampaignCacheRoundTrip runs the same small campaign twice against one
+// cache: the second pass must be served entirely from disk and reproduce
+// the first pass exactly, including rewriting the journal files on hits.
+func TestCampaignCacheRoundTrip(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name: "cached", Workload: "fft", Protocol: topology.ProtoDeny,
+		Inject: &InjectorConfig{
+			MeanArrivalCyc: 2_000, MaxFaults: 10,
+			Kinds:            []fault.Kind{fault.Cell},
+			TransientLifeCyc: 20_000, HardenPct: 0,
+		},
+		ScrubIntervalCyc: 2_000, ScrubBatch: 8,
+	}
+	run := func(outDir string) *CampaignResult {
+		res, err := RunCampaign(CampaignConfig{
+			Seeds: []int64{1, 2}, MeasureOps: 6_000,
+			Scenarios: []Scenario{sc}, OutDir: outDir, Cache: store,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	outA, outB := t.TempDir(), t.TempDir()
+	a := run(outA)
+	if s := store.Stats(); s.Hits != 0 || s.Puts != 2 {
+		t.Fatalf("cold campaign stats %v, want 2 puts and no hits", s)
+	}
+	b := run(outB)
+	if s := store.Stats(); s.Hits != 2 {
+		t.Fatalf("warm campaign stats %v, want 2 hits", s)
+	}
+	for i := range a.Runs {
+		ra, rb := a.Runs[i], b.Runs[i]
+		if !reflect.DeepEqual(ra.Counters, rb.Counters) || ra.Cycles != rb.Cycles {
+			t.Fatalf("cached run %d differs from simulated run", i)
+		}
+		ja, err := os.ReadFile(ra.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := os.ReadFile(rb.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("journal file of cached run %d differs", i)
 		}
 	}
 }

@@ -1,0 +1,393 @@
+// Package serve is the sweep service behind cmd/dveserve: a small HTTP
+// front end over the experiments runner and the content-addressed result
+// cache. Clients enqueue simulation cells (or whole workload×protocol
+// matrices), poll for results by cache key, and read service metrics; a
+// bounded worker pool executes cells, queue-depth backpressure rejects
+// enqueues with 429 when the queue is saturated, and Drain stops intake and
+// finishes the queued work for a graceful shutdown.
+//
+// API:
+//
+//	POST /run      {"workloads": ["fft"], "protocols": ["deny"],
+//	                "classify": false}
+//	               -> 200 {"cells": [{"workload", "protocol", "key",
+//	                  "status": "cached"|"queued"}]}
+//	               -> 429 when the queue cannot absorb every new cell
+//	                  (already-accepted cells stay queued and are listed)
+//	               -> 503 while draining
+//	GET /result/<key> -> 200 cached payload | 202 queued/running
+//	                  | 500 failed (body has the cell error) | 404 unknown
+//	GET /metrics   -> 200 service counters + cache statistics
+//
+// Results are never invented by the service: a 200 from /result is always
+// the validated cache entry, so a client sees exactly the bytes a local
+// cached run would.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dve/internal/dve"
+	"dve/internal/experiments"
+	"dve/internal/results"
+	"dve/internal/topology"
+	"dve/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Runner executes cells; its Cache must be set (the cache is the only
+	// place results live — the service holds no payloads in memory).
+	Runner experiments.Runner
+	// Workers is the simulation pool size. 0 means 4.
+	Workers int
+	// QueueDepth bounds cells waiting for a worker; enqueues past it get
+	// 429. 0 means 64.
+	QueueDepth int
+}
+
+// job is one queued simulation cell.
+type job struct {
+	key      results.Key
+	spec     workload.Spec
+	cfg      topology.Config
+	classify bool
+}
+
+// jobState tracks a cell the service has accepted. States move
+// queued -> running -> done | failed; done cells answer from the cache.
+type jobState struct {
+	status string // "queued", "running", "done", "failed"
+	err    string // set when failed
+}
+
+// Server is the sweep service. Create with New, mount Handler, call Start,
+// and Drain on shutdown.
+type Server struct {
+	runner  experiments.Runner
+	cache   *results.Store
+	workers int
+	depth   int
+
+	queue chan job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[results.Key]*jobState
+	draining bool
+
+	enqueued, completed, failed, rejected atomic.Uint64
+
+	// runCell executes one cell; defaults to the runner's cached path.
+	// Tests swap it to control timing without running simulations.
+	runCell func(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, bool, error)
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner.Cache == nil {
+		return nil, fmt.Errorf("serve: Runner.Cache must be set")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Server{
+		runner:  cfg.Runner,
+		cache:   cfg.Runner.Cache,
+		workers: cfg.Workers,
+		depth:   cfg.QueueDepth,
+		queue:   make(chan job, cfg.QueueDepth),
+		jobs:    make(map[results.Key]*jobState),
+	}
+	s.runCell = s.runner.RunCell
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain stops accepting new cells, lets the workers finish everything
+// already queued, and returns when the pool has exited. Safe to call once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.setState(j.key, "running", "")
+		res, _, err := s.runCell(j.spec, j.cfg, j.classify)
+		if err != nil {
+			s.failed.Add(1)
+			s.setState(j.key, "failed", err.Error())
+			continue
+		}
+		// The real runner stores its result itself; this backstop keeps
+		// /result serving even when a swapped-in runCell does not.
+		if !s.cache.Contains(j.key) {
+			if err := s.cache.Put(j.key, res); err != nil {
+				s.failed.Add(1)
+				s.setState(j.key, "failed", err.Error())
+				continue
+			}
+		}
+		s.completed.Add(1)
+		s.setState(j.key, "done", "")
+	}
+}
+
+func (s *Server) setState(key results.Key, status, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.jobs[key]; ok {
+		st.status, st.err = status, errMsg
+	}
+}
+
+// runRequest is the POST /run body. Workload/Protocol enqueue one cell;
+// Workloads/Protocols enqueue their cross product. Singular and plural
+// forms combine.
+type runRequest struct {
+	Workload  string   `json:"workload,omitempty"`
+	Protocol  string   `json:"protocol,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Protocols []string `json:"protocols,omitempty"`
+	Classify  bool     `json:"classify,omitempty"`
+}
+
+// cellStatus is one cell's disposition in the POST /run response.
+type cellStatus struct {
+	Workload string `json:"workload"`
+	Protocol string `json:"protocol"`
+	Key      string `json:"key"`
+	// Status is "cached" (result already on disk) or "queued".
+	Status string `json:"status"`
+}
+
+// runResponse answers POST /run. On 429, Error is set and Cells lists the
+// cells accepted before saturation.
+type runResponse struct {
+	Cells []cellStatus `json:"cells"`
+	Error string       `json:"error,omitempty"`
+}
+
+// Metrics is the GET /metrics payload.
+type Metrics struct {
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queue_depth"`
+	QueueLen   int           `json:"queue_len"`
+	Enqueued   uint64        `json:"enqueued"`
+	Completed  uint64        `json:"completed"`
+	Failed     uint64        `json:"failed"`
+	Rejected   uint64        `json:"rejected"`
+	Draining   bool          `json:"draining"`
+	Cache      results.Stats `json:"cache"`
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/result/", s.handleResult)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	names := req.Workloads
+	if req.Workload != "" {
+		names = append(names, req.Workload)
+	}
+	protoNames := req.Protocols
+	if req.Protocol != "" {
+		protoNames = append(protoNames, req.Protocol)
+	}
+	if len(names) == 0 || len(protoNames) == 0 {
+		http.Error(w, "need at least one workload and one protocol", http.StatusBadRequest)
+		return
+	}
+	// Resolve everything before touching the queue so a bad name rejects
+	// the whole request instead of half-enqueuing a matrix.
+	specs := make([]workload.Spec, 0, len(names))
+	for _, n := range names {
+		spec, ok := workload.ByName(n, 16)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown workload %q", n), http.StatusBadRequest)
+			return
+		}
+		specs = append(specs, spec)
+	}
+	protos := make([]topology.Protocol, 0, len(protoNames))
+	for _, n := range protoNames {
+		p, err := topology.ParseProtocol(n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		protos = append(protos, p)
+	}
+
+	resp := runResponse{Cells: make([]cellStatus, 0, len(specs)*len(protos))}
+	for _, spec := range specs {
+		for _, p := range protos {
+			cfg := topology.Default(p)
+			key, err := s.runner.CellKey(spec, cfg, req.Classify)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			cs := cellStatus{Workload: spec.Name, Protocol: p.String(), Key: string(key)}
+			code, err := s.enqueue(job{key: key, spec: spec, cfg: cfg, classify: req.Classify})
+			if err != nil {
+				resp.Error = err.Error()
+				writeJSON(w, code, resp)
+				return
+			}
+			cs.Status = code2status(code)
+			resp.Cells = append(resp.Cells, cs)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// enqueue codes (internal): http.StatusOK = already cached or already
+// tracked, http.StatusAccepted = newly queued.
+func code2status(code int) string {
+	if code == http.StatusAccepted {
+		return "queued"
+	}
+	return "cached"
+}
+
+// enqueue admits one cell. It returns StatusOK when the result is already
+// on disk, StatusAccepted when the cell was (or already is) queued, and an
+// error with 503 (draining) or 429 (queue saturated).
+func (s *Server) enqueue(j job) (int, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return http.StatusServiceUnavailable, fmt.Errorf("draining: not accepting new cells")
+	}
+	if st, ok := s.jobs[j.key]; ok && st.status != "failed" {
+		// Already cached-done, queued or running: nothing to add. A failed
+		// cell may be retried by enqueueing again.
+		s.mu.Unlock()
+		if st.status == "done" {
+			return http.StatusOK, nil
+		}
+		return http.StatusAccepted, nil
+	}
+	if s.cache.Contains(j.key) {
+		s.jobs[j.key] = &jobState{status: "done"}
+		s.mu.Unlock()
+		return http.StatusOK, nil
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.key] = &jobState{status: "queued"}
+		s.enqueued.Add(1)
+		s.mu.Unlock()
+		return http.StatusAccepted, nil
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return http.StatusTooManyRequests,
+			fmt.Errorf("queue saturated (%d cells deep): retry later", s.depth)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	key := results.Key(strings.TrimPrefix(r.URL.Path, "/result/"))
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	st, tracked := s.jobs[key]
+	var status, errMsg string
+	if tracked {
+		status, errMsg = st.status, st.err
+	}
+	s.mu.Unlock()
+	if tracked {
+		switch status {
+		case "queued", "running":
+			writeJSON(w, http.StatusAccepted, map[string]string{"status": status})
+			return
+		case "failed":
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"status": "failed", "error": errMsg})
+			return
+		}
+	}
+	payload, ok := s.cache.GetRaw(key)
+	if !ok {
+		http.Error(w, "unknown key", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Metrics{
+		Workers:    s.workers,
+		QueueDepth: s.depth,
+		QueueLen:   len(s.queue),
+		Enqueued:   s.enqueued.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+		Draining:   draining,
+		Cache:      s.cache.Stats(),
+	})
+}

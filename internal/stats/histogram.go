@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -124,6 +125,33 @@ func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d [2^%d..2^%d) %s",
 		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99),
 		h.max, lo, hi+1, bar.String())
+}
+
+// histogramJSON is the exported wire form of Histogram, used by the result
+// cache: a cached run's latency distribution must survive a JSON round trip
+// bit-for-bit or repeated reports would silently diverge.
+type histogramJSON struct {
+	Buckets [40]uint64 `json:"buckets"`
+	Count   uint64     `json:"count"`
+	Sum     uint64     `json:"sum"`
+	Max     uint64     `json:"max"`
+}
+
+// MarshalJSON encodes the histogram's full state.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Buckets: h.buckets, Count: h.count, Sum: h.sum, Max: h.max,
+	})
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	h.buckets, h.count, h.sum, h.max = w.Buckets, w.Count, w.Sum, w.Max
+	return nil
 }
 
 // Buckets returns the non-empty (bucketLowBound, count) pairs, ascending.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
@@ -105,5 +106,38 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if bs[0][0] != 2 || bs[0][1] != 2 {
 		t.Fatalf("first bucket = %v", bs[0])
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 7, 100, 5000, 1 << 30} {
+		h.Add(v)
+	}
+	b, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mutated histogram:\ngot  %s\nwant %s", got.String(), h.String())
+	}
+	// Re-encoding is byte-stable (the cache's determinism contract).
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("histogram JSON is not byte-stable")
+	}
+}
+
+func TestHistogramJSONRejectsGarbage(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"buckets": "nope"}`), &h); err == nil {
+		t.Fatal("bad histogram JSON accepted")
 	}
 }

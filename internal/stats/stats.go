@@ -99,26 +99,43 @@ func (c *Counters) SharingMix() [4]float64 {
 	}
 }
 
-// Geomean returns the geometric mean of xs; it returns 0 for an empty slice
-// and panics on non-positive inputs, which indicate a bug upstream.
+// Geomean returns the geometric mean of xs, skipping non-positive and
+// non-finite values (a degenerate cell — a zero-cycle run, a NaN ratio —
+// must not crash report generation). It returns 0 for an empty slice and
+// NaN when every value was skipped, so a fully degenerate group is visible
+// in the output rather than rendered as a plausible number. Callers that
+// want to warn about skips use GeomeanSkipped.
 func Geomean(xs []float64) float64 {
+	g, _ := GeomeanSkipped(xs)
+	return g
+}
+
+// GeomeanSkipped is Geomean plus the count of values it had to skip, so
+// report formatters can flag partially degenerate aggregates.
+func GeomeanSkipped(xs []float64) (float64, int) {
 	if len(xs) == 0 {
-		return 0
+		return 0, 0
 	}
-	s := 0.0
+	s, n := 0.0, 0
 	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: non-positive value %v in geomean", x))
+		if x <= 0 || math.IsInf(x, 1) || math.IsNaN(x) {
+			continue
 		}
 		s += math.Log(x)
+		n++
 	}
-	return math.Exp(s / float64(len(xs)))
+	if n == 0 {
+		return math.NaN(), len(xs)
+	}
+	return math.Exp(s / float64(n)), len(xs) - n
 }
 
 // Speedup returns baselineCycles/cycles: >1 means faster than baseline.
+// Either side being zero marks a degenerate run (an empty ROI); the result
+// is NaN so tables show the breakage instead of a false 0x.
 func Speedup(baselineCycles, cycles uint64) float64 {
-	if cycles == 0 {
-		return 0
+	if cycles == 0 || baselineCycles == 0 {
+		return math.NaN()
 	}
 	return float64(baselineCycles) / float64(cycles)
 }
@@ -178,16 +195,27 @@ func (t *Table) String() string {
 		}
 		b.WriteByte('\n')
 	}
+	skipped := 0
 	for _, n := range []int{10, 15, len(t.Rows)} {
 		if n > len(t.Rows) {
 			continue
 		}
-		gm := t.GeomeanTop(n)
 		fmt.Fprintf(&b, "%-16s %8s", fmt.Sprintf("geomean-top%d", n), "")
 		for _, s := range t.Schemes {
-			fmt.Fprintf(&b, " %14.3f", gm[s])
+			vals := make([]float64, 0, n)
+			for _, r := range t.Rows[:n] {
+				if v, ok := r.Values[s]; ok {
+					vals = append(vals, v)
+				}
+			}
+			gm, sk := GeomeanSkipped(vals)
+			skipped += sk
+			fmt.Fprintf(&b, " %14.3f", gm)
 		}
 		b.WriteByte('\n')
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&b, "warning: %d degenerate (non-positive or non-finite) cells skipped in geomeans\n", skipped)
 	}
 	return b.String()
 }

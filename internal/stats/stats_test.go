@@ -17,13 +17,24 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
-func TestGeomeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on non-positive input")
-		}
-	}()
-	Geomean([]float64{1, 0})
+func TestGeomeanSkipsNonPositive(t *testing.T) {
+	// A degenerate cell (zero, negative, NaN, +Inf) is skipped, not fatal:
+	// one broken run must not crash a whole report.
+	g, skipped := GeomeanSkipped([]float64{1, 0, 4, -3, math.NaN(), math.Inf(1)})
+	if math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean over valid subset = %v, want 2", g)
+	}
+	if skipped != 4 {
+		t.Fatalf("skipped = %d, want 4", skipped)
+	}
+	if got := Geomean([]float64{1, 0, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean(1,0,4) = %v, want 2", got)
+	}
+	// All-degenerate input surfaces as NaN, never a plausible number.
+	g, skipped = GeomeanSkipped([]float64{0, -1})
+	if !math.IsNaN(g) || skipped != 2 {
+		t.Fatalf("all-degenerate geomean = (%v, %d), want (NaN, 2)", g, skipped)
+	}
 }
 
 // Property: geomean lies between min and max, and is scale-equivariant.
@@ -58,8 +69,27 @@ func TestSpeedup(t *testing.T) {
 	if Speedup(200, 100) != 2 {
 		t.Fatal("Speedup(200,100) != 2")
 	}
-	if Speedup(100, 0) != 0 {
-		t.Fatal("Speedup with zero cycles should be 0")
+	// A zero-cycle run is degenerate on either side: NaN, not a false 0x.
+	if !math.IsNaN(Speedup(100, 0)) {
+		t.Fatal("Speedup with zero cycles should be NaN")
+	}
+	if !math.IsNaN(Speedup(0, 100)) {
+		t.Fatal("Speedup with zero baseline cycles should be NaN")
+	}
+}
+
+func TestTableWarnsOnDegenerateGeomeanCells(t *testing.T) {
+	tab := Table{
+		Title:   "degenerate",
+		Schemes: []string{"a"},
+		Rows: []Row{
+			{Name: "good", MPKI: 2, Values: map[string]float64{"a": 1.5}},
+			{Name: "bad", MPKI: 1, Values: map[string]float64{"a": math.NaN()}},
+		},
+	}
+	out := tab.String()
+	if !strings.Contains(out, "warning:") {
+		t.Fatalf("degenerate cell not flagged:\n%s", out)
 	}
 }
 

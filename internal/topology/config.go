@@ -4,6 +4,8 @@
 // paper.
 package topology
 
+import "fmt"
+
 // Protocol selects the Dvé replica-directory protocol family (Section V-C).
 type Protocol int
 
@@ -36,6 +38,19 @@ func (p Protocol) String() string {
 		return "intel-mirror++"
 	}
 	return "unknown"
+}
+
+// ParseProtocol maps a report name (as produced by Protocol.String) back to
+// its Protocol, for CLIs and the sweep service.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range []Protocol{
+		ProtoBaseline, ProtoAllow, ProtoDeny, ProtoDynamic, ProtoIntelMirror,
+	} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown protocol %q", s)
 }
 
 // Config captures the simulated system parameters (paper Table II).

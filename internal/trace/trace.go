@@ -10,8 +10,13 @@
 //	header:  magic "DVET" | u16 version | u16 threads | u64 ops
 //	record:  u8 kind | u8 tid | u16 compute | u64 addr
 //
-// Barrier records have kind 2 and no meaningful addr/compute. Records are
-// interleaved in global issue order; replay preserves per-thread order.
+// The header's op count is written as 0 (unknown) when the stream starts;
+// Close seeks back and fixes it up when the destination is an
+// io.WriteSeeker (a pipe keeps 0). Thread ids are a single byte, so a trace
+// holds at most 255 threads — NewWriter rejects larger machines instead of
+// silently truncating tids. Barrier records have kind 2 and no meaningful
+// addr/compute. Records are interleaved in global issue order; replay
+// preserves per-thread order.
 package trace
 
 import (
@@ -37,19 +42,32 @@ type Record struct {
 	Addr    topology.Addr
 }
 
+// MaxThreads is the largest thread count the record format can address
+// (tids are a single byte).
+const MaxThreads = 255
+
+// opsOffset is the byte offset of the header's u64 op count.
+const opsOffset = 8 // magic(4) + version(2) + threads(2)
+
 // Writer streams records to an underlying writer.
 type Writer struct {
 	w       *bufio.Writer
+	dst     io.Writer // unbuffered destination, for the Close fixup
 	threads int
 	ops     uint64
 	started bool
 }
 
-// NewWriter creates a trace writer for the given thread count. The header
-// is written lazily on the first record (op count is fixed up by Close only
-// for io.WriteSeekers; otherwise it records 0 = unknown).
-func NewWriter(w io.Writer, threads int) *Writer {
-	return &Writer{w: bufio.NewWriter(w), threads: threads}
+// NewWriter creates a trace writer for the given thread count; counts
+// outside [1, MaxThreads] are rejected because a record's tid is one byte
+// and silent truncation would merge distinct threads' streams. The header
+// is written lazily on the first record with an op count of 0 (unknown);
+// Close fixes the count up when w is an io.WriteSeeker.
+func NewWriter(w io.Writer, threads int) (*Writer, error) {
+	if threads < 1 || threads > MaxThreads {
+		return nil, fmt.Errorf("trace: thread count %d outside [1, %d]", threads, MaxThreads)
+	}
+	return &Writer{w: bufio.NewWriter(w), dst: w, threads: threads}, nil
 }
 
 func (tw *Writer) writeHeader(ops uint64) error {
@@ -64,8 +82,12 @@ func (tw *Writer) writeHeader(ops uint64) error {
 	return err
 }
 
-// Write appends one record.
+// Write appends one record. The record's Tid must be within the writer's
+// declared thread count.
 func (tw *Writer) Write(r Record) error {
+	if int(r.Tid) >= tw.threads {
+		return fmt.Errorf("trace: record tid %d out of range for %d threads", r.Tid, tw.threads)
+	}
 	if !tw.started {
 		tw.started = true
 		if err := tw.writeHeader(0); err != nil {
@@ -87,11 +109,38 @@ func (tw *Writer) Write(r Record) error {
 // Flush completes the stream.
 func (tw *Writer) Flush() error {
 	if !tw.started {
+		tw.started = true
 		if err := tw.writeHeader(0); err != nil {
 			return err
 		}
 	}
 	return tw.w.Flush()
+}
+
+// Close flushes the stream and, when the destination supports seeking,
+// rewrites the header's op count with the number of records written (the
+// fixup the header format promises). Streams to pipes keep the 0 = unknown
+// marker. The writer must not be used after Close.
+func (tw *Writer) Close() error {
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	ws, ok := tw.dst.(io.WriteSeeker)
+	if !ok {
+		return nil
+	}
+	if _, err := ws.Seek(opsOffset, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: header fixup: %w", err)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], tw.ops)
+	if _, err := ws.Write(b[:]); err != nil {
+		return fmt.Errorf("trace: header fixup: %w", err)
+	}
+	if _, err := ws.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("trace: header fixup: %w", err)
+	}
+	return nil
 }
 
 // Ops returns the number of records written.
@@ -101,6 +150,9 @@ func (tw *Writer) Ops() uint64 { return tw.ops }
 type Reader struct {
 	r       *bufio.Reader
 	Threads int
+	// Ops is the header's record count: 0 means unknown (the producer could
+	// not seek back to fix up the header).
+	Ops uint64
 }
 
 // NewReader validates the header and returns a reader.
@@ -120,7 +172,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if threads == 0 {
 		return nil, fmt.Errorf("trace: zero threads")
 	}
-	return &Reader{r: br, Threads: threads}, nil
+	if threads > MaxThreads {
+		return nil, fmt.Errorf("trace: thread count %d exceeds format limit %d", threads, MaxThreads)
+	}
+	return &Reader{r: br, Threads: threads, Ops: binary.LittleEndian.Uint64(head[8:])}, nil
 }
 
 // Next returns the next record; io.EOF ends the stream.
@@ -151,7 +206,10 @@ func Capture(w io.Writer, spec workload.Spec, ops uint64) error {
 	if err != nil {
 		return err
 	}
-	tw := NewWriter(w, spec.Threads)
+	tw, err := NewWriter(w, spec.Threads)
+	if err != nil {
+		return err
+	}
 	tid := 0
 	for i := uint64(0); i < ops; i++ {
 		op := gen.Next(tid)
@@ -169,7 +227,9 @@ func Capture(w io.Writer, spec workload.Spec, ops uint64) error {
 		}
 		tid = (tid + 1) % spec.Threads
 	}
-	return tw.Flush()
+	// Close fixes up the header's op count when w can seek (files), so
+	// tools can size replays without scanning the whole trace.
+	return tw.Close()
 }
 
 // Source adapts a fully loaded trace into per-thread streams for the

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	idve "dve/internal/dve"
@@ -12,7 +14,10 @@ import (
 
 func TestRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	tw := NewWriter(&buf, 2)
+	tw, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	recs := []Record{
 		{Kind: workload.Read, Tid: 0, Compute: 3, Addr: 0x1000},
 		{Kind: workload.Write, Tid: 1, Compute: 0, Addr: 0x2040},
@@ -37,6 +42,9 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if tr.Threads != 2 {
 		t.Fatalf("threads = %d, want 2", tr.Threads)
+	}
+	if tr.Ops != 0 {
+		t.Fatalf("header ops = %d, want 0 (buffers cannot seek back)", tr.Ops)
 	}
 	for i, want := range recs {
 		got, err := tr.Next()
@@ -67,7 +75,7 @@ func TestReaderRejectsGarbage(t *testing.T) {
 
 func TestReaderRejectsTruncatedRecord(t *testing.T) {
 	var buf bytes.Buffer
-	tw := NewWriter(&buf, 1)
+	tw, _ := NewWriter(&buf, 1)
 	tw.Write(Record{Kind: workload.Read, Addr: 64})
 	tw.Flush()
 	data := buf.Bytes()[:buf.Len()-5] // chop mid-record
@@ -82,7 +90,7 @@ func TestReaderRejectsTruncatedRecord(t *testing.T) {
 
 func TestReaderRejectsBadKind(t *testing.T) {
 	var buf bytes.Buffer
-	tw := NewWriter(&buf, 1)
+	tw, _ := NewWriter(&buf, 1)
 	tw.Write(Record{Kind: workload.Read, Addr: 64})
 	tw.Flush()
 	data := buf.Bytes()
@@ -142,7 +150,7 @@ func TestSourceWraps(t *testing.T) {
 
 func TestLoadRejectsEmptyThread(t *testing.T) {
 	var buf bytes.Buffer
-	tw := NewWriter(&buf, 2)
+	tw, _ := NewWriter(&buf, 2)
 	tw.Write(Record{Kind: workload.Read, Tid: 0, Addr: 64})
 	tw.Flush()
 	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
@@ -186,5 +194,135 @@ func TestSimulatorReplayEquivalence(t *testing.T) {
 	ratio := float64(replay.Cycles) / float64(live.Cycles)
 	if ratio < 0.7 || ratio > 1.4 {
 		t.Fatalf("replay diverges from live run: %d vs %d cycles", replay.Cycles, live.Cycles)
+	}
+}
+
+func TestNewWriterRejectsBadThreadCounts(t *testing.T) {
+	var buf bytes.Buffer
+	for _, n := range []int{0, -1, 256, 10_000} {
+		if _, err := NewWriter(&buf, n); err == nil {
+			t.Errorf("thread count %d accepted; tids are one byte", n)
+		}
+	}
+	if _, err := NewWriter(&buf, 255); err != nil {
+		t.Fatalf("thread count 255 rejected: %v", err)
+	}
+}
+
+func TestWriteRejectsOutOfRangeTid(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Record{Kind: workload.Read, Tid: 2, Addr: 64}); err == nil {
+		t.Fatal("tid beyond the declared thread count accepted")
+	}
+	if tw.Ops() != 0 {
+		t.Fatal("rejected record counted")
+	}
+}
+
+// Close must seek back and fix up the header's op count when the
+// destination is a file — the behaviour the header format promises.
+func TestCloseFixesUpHeaderOpsOnFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fixup.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewWriter(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := tw.Write(Record{Kind: workload.Read, Tid: uint8(i % 3), Addr: topology.Addr(i * 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tr, err := NewReader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ops != n {
+		t.Fatalf("header ops = %d after Close, want %d", tr.Ops, n)
+	}
+	// The records themselves are untouched by the fixup.
+	for i := 0; i < n; i++ {
+		rec, err := tr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Addr != topology.Addr(i*64) {
+			t.Fatalf("record %d addr = %#x", i, rec.Addr)
+		}
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("want EOF after %d records, got %v", n, err)
+	}
+}
+
+// Close on a non-seekable destination keeps the 0 = unknown marker and
+// still flushes everything.
+func TestCloseOnBufferKeepsUnknownOps(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Record{Kind: workload.Read, Addr: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ops != 0 {
+		t.Fatalf("header ops = %d, want 0 for a pipe-style stream", tr.Ops)
+	}
+}
+
+// Capture to a file produces a trace whose header already knows its length.
+func TestCaptureFixesUpHeader(t *testing.T) {
+	spec, _ := workload.ByName("fft", 4)
+	path := filepath.Join(t.TempDir(), "fft.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	if err := Capture(f, spec, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tr, err := NewReader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ops != n {
+		t.Fatalf("captured header ops = %d, want %d", tr.Ops, n)
 	}
 }
