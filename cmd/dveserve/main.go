@@ -10,6 +10,7 @@
 //	     -d '{"workloads":["fft","lbm"],"protocols":["baseline","deny"]}'
 //	curl localhost:8437/result/<key>
 //	curl localhost:8437/metrics
+//	curl localhost:8437/metrics/prom   # Prometheus text format
 //
 // SIGTERM (or Ctrl-C) drains gracefully: intake stops with 503, queued
 // cells finish, then the process exits.

@@ -5,6 +5,7 @@
 //
 //	dvesim -workload fft -protocol deny -ops 2000000 -warmup 500000
 //	dvesim -workload xsbench -protocol dynamic -link-ns 60
+//	dvesim -workload fft -protocol deny -trace-events trace.json   # open in Perfetto
 //	dvesim -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"dve/internal/dve"
 	"dve/internal/perf"
 	"dve/internal/stats"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -35,6 +37,7 @@ func main() {
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
+		traceEv = flag.String("trace-events", "", "write a Chrome trace-event JSON timeline (open in Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -75,11 +78,28 @@ func main() {
 
 	rc := dve.RunConfig{Cfg: cfg, WarmupOps: *warmup, MeasureOps: *ops,
 		Classify: p == topology.ProtoBaseline}
+	var tracer *telemetry.Tracer
+	if *traceEv != "" {
+		tracer = telemetry.NewTracer(telemetry.Options{
+			TraceEvents: true, FlightRecorderLines: 256,
+		})
+		rc.Telemetry = tracer
+	}
 	res, err := dve.Run(spec, rc)
 	if err != nil {
 		fatal(err)
 	}
 	printResult(res)
+	if tracer != nil {
+		// Only the main run is traced: the -speedup baseline below runs on
+		// a fresh engine whose clock restarts at zero, which would fold a
+		// second timeline onto the same tracks.
+		if err := tracer.WriteTraceFile(*traceEv); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events -> %s (dropped %d)\n",
+			tracer.Events(), *traceEv, tracer.Dropped())
+	}
 
 	if *baseCmp && p != topology.ProtoBaseline {
 		bcfg := topology.Default(topology.ProtoBaseline)

@@ -16,6 +16,12 @@
 //     journal or output stream, or accumulates into an outer slice that
 //     is not sorted afterwards — map iteration order would leak into the
 //     event order or the journal.
+//
+// The telemetry layer (dve/internal/telemetry) is in scope with a tailored
+// diagnostic: its no-perturbation rule means trace timestamps are always
+// sim.Engine cycles, so a wall-clock read there is a contract violation,
+// not a style issue. As everywhere else, host timing goes through
+// stats.Stopwatch.
 package determinism
 
 import (
@@ -41,6 +47,17 @@ var Analyzer = &analysis.Analyzer{
 // code outside the simulation can time itself.
 var allowlist = map[string]bool{
 	"dve/internal/stats": true,
+}
+
+// telemetryPkgs get a sharper diagnostic: the instrumentation layer is the
+// most tempting place to reach for time.Now (trace files look like they
+// want wall-clock timestamps), but its no-perturbation rule makes it
+// exactly as wall-clock-free as the simulation it observes — every
+// timestamp is a sim.Engine cycle; only stats.Stopwatch may time the host.
+// The bare "telemetry" path is the golden-test package.
+var telemetryPkgs = map[string]bool{
+	"dve/internal/telemetry": true,
+	"telemetry":              true,
 }
 
 // inScope reports whether the package is a simulation package. Bare,
@@ -133,6 +150,12 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	switch fn.Pkg().Path() {
 	case "time":
 		if bannedTimeFuncs[fn.Name()] {
+			if telemetryPkgs[pass.Path] {
+				pass.Reportf(call.Pos(),
+					"time.%s in the telemetry layer: telemetry timestamps come from sim.Engine cycles (no-perturbation rule); wall-clock timing must go through stats.Stopwatch",
+					fn.Name())
+				return
+			}
 			pass.Reportf(call.Pos(),
 				"time.%s in a simulation package: simulated time comes from sim.Engine; wall-clock reporting belongs behind dve/internal/stats (Stopwatch)",
 				fn.Name())

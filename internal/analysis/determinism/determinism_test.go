@@ -10,3 +10,9 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "determinism")
 }
+
+// TestTelemetryPackage pins the tailored diagnostic for the instrumentation
+// layer: wall-clock reads there violate the no-perturbation rule.
+func TestTelemetryPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "telemetry")
+}

@@ -1,0 +1,24 @@
+// Package telemetry mirrors the instrumentation layer for the determinism
+// analyzer's golden test: wall-clock reads here get the telemetry-specific
+// diagnostic (timestamps must come from sim.Engine cycles).
+package telemetry
+
+import "time"
+
+type tracer struct {
+	events []uint64
+}
+
+func (t *tracer) stamp() {
+	// A trace event timestamped off the host clock would differ run to run
+	// and violate the no-perturbation contract.
+	t.events = append(t.events, uint64(time.Now().UnixNano())) // want `time\.Now in the telemetry layer: telemetry timestamps come from sim\.Engine cycles`
+}
+
+func (t *tracer) age(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in the telemetry layer`
+}
+
+func (t *tracer) pure(nowCycle uint64) {
+	t.events = append(t.events, nowCycle) // ok: simulated time passed in
+}

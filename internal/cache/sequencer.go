@@ -2,6 +2,7 @@ package cache
 
 import (
 	"dve/internal/sim"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -22,6 +23,14 @@ type Sequencer struct {
 	lat  sim.Cycle
 	mshr *MSHR
 	free []*seqCall
+
+	// Trace, when non-nil, records contended dispatches (a transaction
+	// deferred behind an in-flight one on the same line) as instant events
+	// on the owner's (Comp, Socket) track. The disabled path is one nil
+	// check; the alloc test pins it at 0 allocs/op.
+	Trace  *telemetry.Tracer
+	Comp   telemetry.Component
+	Socket int
 }
 
 // seqCall carries one transaction from Do to its release: it rides the
@@ -81,6 +90,9 @@ func runSeqCall(arg any, _ uint64) {
 		l, fn := c.l, c.fn
 		c.fn = nil
 		q.free = append(q.free, c)
+		if q.Trace != nil {
+			q.Trace.Point(q.Comp, q.Socket, "defer", uint64(l))
+		}
 		q.mshr.Defer(l, func() { q.Do(l, fn) })
 		return
 	}

@@ -64,10 +64,16 @@ func TestSequencerReentrantDo(t *testing.T) {
 }
 
 // TestSequencerSteadyStateAllocs pins the uncontended dispatch+release
-// round trip to zero allocations once the record pool is warm.
+// round trip to zero allocations once the record pool is warm. A fresh
+// sequencer has no telemetry tracer attached (Trace == nil), so this also
+// pins the disabled-probe path: instrumentation costs one nil check here,
+// never an allocation.
 func TestSequencerSteadyStateAllocs(t *testing.T) {
 	eng := sim.NewEngine()
 	q := NewSequencer(eng, 3, NewMSHR(0))
+	if q.Trace != nil {
+		t.Fatal("fresh sequencer has a tracer attached")
+	}
 	body := func(release func()) { release() }
 	// Advancing each batch by a multiple of the engine's calendar-ring span
 	// keeps every batch in the same (warmed) buckets; 1<<16 cycles is a

@@ -4,6 +4,7 @@ import (
 	"dve/internal/cache"
 	"dve/internal/noc"
 	"dve/internal/sim"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -124,8 +125,22 @@ func (d *HomeDir) dbg(l topology.Line, format string, args ...any) {
 // release function that must be called exactly once when the transaction
 // completes. The dispatch itself is pooled and allocation-free
 // (cache.Sequencer); only the transaction body closure remains per-call.
-func (d *HomeDir) seq(l topology.Line, fn func(release func())) {
-	d.seqq.Do(l, fn)
+func (d *HomeDir) seq(name string, l topology.Line, fn func(release func())) {
+	tr := d.sys.Trace
+	if tr == nil {
+		d.seqq.Do(l, fn)
+		return
+	}
+	// Span the whole serialized transaction: Begin once the line is held,
+	// End when the body releases it. The wrapper only adds observation —
+	// scheduling and release order are untouched (no-perturbation rule).
+	d.seqq.Do(l, func(release func()) {
+		sp := tr.Begin(telemetry.CompHomeDir, d.socket, name, uint64(l))
+		fn(func() {
+			tr.End(sp)
+			release()
+		})
+	})
 }
 
 // classify records the Fig 7 sharing-pattern class of a request.
@@ -330,7 +345,7 @@ func (d *HomeDir) probeLat() sim.Cycle { return sim.Cycle(d.sys.Cfg.LLCLatencyCy
 // remote LLC in the baseline — replica-side requests in Dvé come through
 // ReplicaGETS). reply runs at the requester when data is available there.
 func (d *HomeDir) GETS(src int, l topology.Line, reply func()) {
-	d.seq(l, func(release func()) {
+	d.seq("GETS", l, func(release func()) {
 		e := d.entry(l)
 		d.dbg(l, "GETS src=%d state=%v owner=%d sharers=%v", src, e.state, e.owner, e.sharers)
 		d.classify(false, e.state)
@@ -409,7 +424,7 @@ func (d *HomeDir) GETS(src int, l topology.Line, reply func()) {
 // GETX handles a write (exclusive) request from an LLC. reply runs at the
 // requester when write permission (and data, if needData) is there.
 func (d *HomeDir) GETX(src int, l topology.Line, needData bool, reply func()) {
-	d.seq(l, func(release func()) {
+	d.seq("GETX", l, func(release func()) {
 		e := d.entry(l)
 		d.dbg(l, "GETX src=%d needData=%v state=%v owner=%d sharers=%v", src, needData, e.state, e.owner, e.sharers)
 		d.classify(true, e.state)
@@ -571,7 +586,7 @@ func (d *HomeDir) denyModeActive() bool {
 // protocol the replica directory's RM entry is cleared once the replica
 // write is on its way (Section V-C2).
 func (d *HomeDir) PUTM(src int, l topology.Line, done func()) {
-	d.seq(l, func(release func()) {
+	d.seq("PUTM", l, func(release func()) {
 		e := d.entry(l)
 		d.dbg(l, "PUTM src=%d state=%v owner=%d", src, e.state, e.owner)
 		if int(e.owner) != src {
@@ -654,7 +669,7 @@ func (d *HomeDir) LinesOwnedBy(socket int) []topology.Line {
 // back at the replica directory; dataShipped=false means only a control
 // grant crossed the link and the replica memory holds current data.
 func (d *HomeDir) ReplicaGETS(l topology.Line, reply func(dataShipped bool)) {
-	d.seq(l, func(release func()) {
+	d.seq("ReplicaGETS", l, func(release func()) {
 		e := d.entry(l)
 		r := d.remoteSocket()
 		d.dbg(l, "ReplicaGETS state=%v owner=%d sharers=%v", e.state, e.owner, e.sharers)
@@ -689,7 +704,7 @@ func (d *HomeDir) ReplicaGETS(l topology.Line, reply func(dataShipped bool)) {
 // directory. On a control-only grant the replica directory supplies data
 // from the local replica memory.
 func (d *HomeDir) ReplicaGETX(l topology.Line, reply func(dataShipped bool)) {
-	d.seq(l, func(release func()) {
+	d.seq("ReplicaGETX", l, func(release func()) {
 		e := d.entry(l)
 		r := d.remoteSocket()
 		d.dbg(l, "ReplicaGETX state=%v owner=%d sharers=%v", e.state, e.owner, e.sharers)
@@ -730,7 +745,7 @@ func (d *HomeDir) ReplicaGETX(l topology.Line, reply func(dataShipped bool)) {
 // already arrived at home (and the replica memory was written by the replica
 // directory); write the home copy and clear ownership. done runs at home.
 func (d *HomeDir) ReplicaPUTM(l topology.Line, done func()) {
-	d.seq(l, func(release func()) {
+	d.seq("ReplicaPUTM", l, func(release func()) {
 		e := d.entry(l)
 		r := d.remoteSocket()
 		d.dbg(l, "ReplicaPUTM state=%v owner=%d", e.state, e.owner)

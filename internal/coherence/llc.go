@@ -4,6 +4,7 @@ import (
 	"dve/internal/cache"
 	"dve/internal/noc"
 	"dve/internal/sim"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -52,6 +53,13 @@ func (c *LLC) Request(core int, write bool, l topology.Line, done func()) {
 	start := c.sys.Eng.Now()
 	c.mshr.Allocate(l)
 	needData := e == nil || !e.State.Readable() // S->M upgrades carry no data
+	// The miss span covers the whole global transaction; sp is zero (and
+	// End a no-op) when tracing is off, so the capture adds nothing to the
+	// closure the miss path already allocates.
+	var sp telemetry.SpanID
+	if tr := c.sys.Trace; tr != nil {
+		sp = tr.Begin(telemetry.CompLLC, c.socket, "miss", uint64(l))
+	}
 	finish := func() {
 		lat := uint64(c.sys.Eng.Now() - start)
 		c.sys.Cnt.MemLatencySum += lat
@@ -59,6 +67,10 @@ func (c *LLC) Request(core int, write bool, l topology.Line, done func()) {
 		c.sys.Cnt.MissLatency.Add(lat)
 		c.fill(core, write, l)
 		c.sys.l1Fill(core, l, write)
+		if tr := c.sys.Trace; tr != nil {
+			tr.Point(telemetry.CompLLC, c.socket, "fill", uint64(l))
+			tr.End(sp)
+		}
 		done()
 		for _, w := range c.mshr.Release(l) {
 			w()

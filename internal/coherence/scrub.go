@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"dve/internal/sim"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -81,6 +82,9 @@ func (d *HomeDir) Scrub(l topology.Line) {
 	// memory copy is read as-is; a dirty cached copy simply makes the read
 	// irrelevant, not incorrect, since recovery rewrites only detected-bad
 	// cells with replica data of the same epoch).
+	if tr := d.sys.Trace; tr != nil {
+		tr.Point(telemetry.CompScrub, d.socket, "scrub", uint64(l))
+	}
 	d.readHomeMem(l, func() {})
 }
 

@@ -17,6 +17,7 @@ import (
 	"dve/internal/noc"
 	"dve/internal/sim"
 	"dve/internal/stats"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -98,6 +99,11 @@ type System struct {
 	// journal of package ras subscribes here). Kinds are the Ev* constants.
 	RASEvent func(kind string, socket int, l topology.Line)
 
+	// Trace, when non-nil, is the telemetry sink every component of this
+	// system reports into (wired by SetTracer). Probe sites nil-check it,
+	// so the disabled path costs one branch.
+	Trace *telemetry.Tracer
+
 	// RepairFn, when set, is invoked whenever the recovery path writes
 	// known-good data over a failed location (demand repair, scrub repair,
 	// replica repair): the fault model clears transient faults covering
@@ -141,10 +147,14 @@ const (
 	EvDrained    = "drained"     // dead socket's replica directory drained
 )
 
-// rasEvent reports a recovery-path step to the attached observer, if any.
+// rasEvent reports a recovery-path step to the attached observer, if any,
+// and mirrors it into the telemetry timeline/flight recorder.
 func (s *System) rasEvent(kind string, socket int, l topology.Line) {
 	if s.RASEvent != nil {
 		s.RASEvent(kind, socket, l)
+	}
+	if s.Trace != nil {
+		s.Trace.Point(telemetry.CompRAS, socket, kind, uint64(l))
 	}
 }
 
@@ -202,6 +212,28 @@ func New(cfg *topology.Config) *System {
 
 // SetReplicaAgent attaches the replica agent for a socket.
 func (s *System) SetReplicaAgent(socket int, a ReplicaAgent) { s.Replicas[socket] = a }
+
+// SetTracer wires a telemetry tracer through every component of the
+// system: the engine's dispatch hook, the inter-socket link, the memory
+// controllers, and the home-directory sequencers. Call it right after New
+// (before replica agents attach — dve's directories pick the tracer up
+// from here). A nil tracer is a no-op, keeping the call unconditional in
+// runners.
+func (s *System) SetTracer(t *telemetry.Tracer) {
+	if t == nil {
+		return
+	}
+	s.Trace = t
+	t.Attach(s.Eng)
+	s.Eng.OnDispatch = t.EngineDispatch
+	s.Link.Trace = t
+	for sk, mc := range s.MCs {
+		mc.Trace = t
+		s.Dirs[sk].seqq.Trace = t
+		s.Dirs[sk].seqq.Comp = telemetry.CompHomeDir
+		s.Dirs[sk].seqq.Socket = sk
+	}
+}
 
 // ReplicaAddrOf returns the replica address of a line and whether one
 // exists under the active mapping. Lines whose replica lives on a killed

@@ -15,6 +15,7 @@ import (
 	"dve/internal/coherence"
 	"dve/internal/noc"
 	"dve/internal/sim"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -98,6 +99,11 @@ func New(sys *coherence.System, socket int, mode Mode) *ReplicaDir {
 			10, // activate + CAS + burst for the in-memory directory line
 		oracular: cfg.Oracular,
 	}
+	if sys.Trace != nil {
+		rd.seqq.Trace = sys.Trace
+		rd.seqq.Comp = telemetry.CompReplicaDir
+		rd.seqq.Socket = socket
+	}
 	sys.SetReplicaAgent(socket, rd)
 	return rd
 }
@@ -133,9 +139,22 @@ func (rd *ReplicaDir) regionOf(l topology.Line) uint64 {
 
 // seq serializes replica-directory transactions per line, paying the
 // directory access latency (same as the home directory, Section VI). The
-// dispatch is pooled and allocation-free (cache.Sequencer).
-func (rd *ReplicaDir) seq(l topology.Line, fn func(release func())) {
-	rd.seqq.Do(l, fn)
+// dispatch is pooled and allocation-free (cache.Sequencer). With a tracer
+// attached, the serialized body becomes a span on this socket's
+// replica-directory track (observation only — the no-perturbation rule).
+func (rd *ReplicaDir) seq(name string, l topology.Line, fn func(release func())) {
+	tr := rd.sys.Trace
+	if tr == nil {
+		rd.seqq.Do(l, fn)
+		return
+	}
+	rd.seqq.Do(l, func(release func()) {
+		sp := tr.Begin(telemetry.CompReplicaDir, rd.socket, name, uint64(l))
+		fn(func() {
+			tr.End(sp)
+			release()
+		})
+	})
 }
 
 // readReplicaMem reads the line's replica from this socket's local memory,
@@ -177,8 +196,15 @@ func (rd *ReplicaDir) readReplicaMem(l topology.Line, cb func()) {
 // LocalGETS implements coherence.ReplicaAgent. done(fromReplica) runs when
 // data is available at this socket's LLC.
 func (rd *ReplicaDir) LocalGETS(l topology.Line, needData bool, done func(fromReplica bool)) {
-	rd.seq(l, func(release func()) {
+	rd.seq("LocalGETS", l, func(release func()) {
 		fin := func(fromReplica bool) {
+			if tr := rd.sys.Trace; tr != nil {
+				if fromReplica {
+					tr.Point(telemetry.CompReplicaDir, rd.socket, "grant-replica", uint64(l))
+				} else {
+					tr.Point(telemetry.CompReplicaDir, rd.socket, "grant-home", uint64(l))
+				}
+			}
 			done(fromReplica)
 			rd.fillDone(l)
 			release()
@@ -407,7 +433,7 @@ func (rd *ReplicaDir) oracleGETS(l topology.Line, fin func(bool)) {
 // serializes at the home directory; when the home side holds no dirty copy
 // the grant is control-only and data comes from the local replica.
 func (rd *ReplicaDir) LocalGETX(l topology.Line, needData bool, done func()) {
-	rd.seq(l, func(release func()) {
+	rd.seq("LocalGETX", l, func(release func()) {
 		fin := func() {
 			done()
 			rd.fillDone(l)
@@ -459,7 +485,7 @@ func (rd *ReplicaDir) insertEntry(l topology.Line, st cache.State) {
 // socket's LLC updates the replica locally and ships the data home so both
 // copies are written synchronously (Section V-B1).
 func (rd *ReplicaDir) LocalPUTM(l topology.Line, done func()) {
-	rd.seq(l, func(release func()) {
+	rd.seq("LocalPUTM", l, func(release func()) {
 		if !rd.owners[l] {
 			// Ownership was fetched away while this writeback was queued:
 			// the fetch already carried the data home. Applying the stale

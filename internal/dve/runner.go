@@ -7,6 +7,7 @@ import (
 	"dve/internal/fault"
 	"dve/internal/sim"
 	"dve/internal/stats"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -45,6 +46,11 @@ type RunConfig struct {
 	// (0 = off); ScrubBatch lines are scrubbed per directory per tick.
 	ScrubIntervalCyc uint64
 	ScrubBatch       int
+	// Telemetry, when set, is wired through the system before any event is
+	// scheduled: protocol spans, the flight recorder, and the engine's
+	// queue-depth counter all report into it. It only observes — the run's
+	// statistics are byte-identical with or without it.
+	Telemetry *telemetry.Tracer
 }
 
 // OpSource supplies per-thread operation streams; both the synthetic
@@ -64,6 +70,13 @@ type Result struct {
 	// InvariantViolations is the post-run coherence audit (SWMR, directory
 	// agreement, inclusion); it must be empty for a correct protocol.
 	InvariantViolations []string
+	// Metrics is the named view of Counters (the telemetry registry
+	// snapshot) embedded in result-cache envelopes and sweep reports.
+	Metrics telemetry.Snapshot `json:"metrics"`
+	// FlightDump holds the flight recorder's recent protocol events when
+	// the run ended with invariant violations and a recorder was armed
+	// (nil otherwise) — the timeline to read instead of printf archaeology.
+	FlightDump []telemetry.FlightEvent `json:"flight_dump,omitempty"`
 }
 
 // barrierLatency approximates the synchronization cost of a barrier episode.
@@ -135,6 +148,7 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		cfg.FootprintHintLines = spec.FootprintMB << 20 / cfg.LineSizeBytes
 	}
 	sys := coherence.New(&cfg)
+	sys.SetTracer(rc.Telemetry) // before replica dirs: they inherit sys.Trace
 	sys.Classify = rc.Classify
 	sys.ReplicaMap = rc.ReplicaMap
 	faultFn := rc.FaultFn
@@ -219,6 +233,12 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		// Absolute over the whole run (not reset at ROI start): any silent
 		// corruption anywhere voids a campaign's zero-SDC assertion.
 		res.Counters.SilentCorruptions = rc.Faults.SilentCorruptions()
+	}
+	res.Metrics = telemetry.CountersSnapshot(&res.Counters)
+	if len(res.InvariantViolations) > 0 && rc.Telemetry != nil {
+		if rec := rc.Telemetry.Recorder(); rec != nil {
+			res.FlightDump = rec.Dump()
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,105 @@
+package dve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dve/internal/telemetry"
+	"dve/internal/topology"
+)
+
+// runTraced runs a small workload with an optional tracer attached.
+func runTraced(t *testing.T, tr *telemetry.Tracer) *Result {
+	t.Helper()
+	rc := RunConfig{
+		Cfg:        topology.Default(topology.ProtoDeny),
+		WarmupOps:  10_000,
+		MeasureOps: 30_000,
+		Telemetry:  tr,
+	}
+	res, err := Run(smallSpec("fft"), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTracingDoesNotPerturbStats pins the no-perturbation contract: a run
+// with full tracing enabled produces byte-identical counters to the same
+// run untraced. The tracer only observes — it never schedules events or
+// reorders the simulation.
+func TestTracingDoesNotPerturbStats(t *testing.T) {
+	plain := runTraced(t, nil)
+	tr := telemetry.NewTracer(telemetry.Options{TraceEvents: true, FlightRecorderLines: 256})
+	traced := runTraced(t, tr)
+
+	pb, err := json.Marshal(plain.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := json.Marshal(traced.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, tb) {
+		t.Errorf("tracing perturbed the run:\nuntraced: %s\ntraced:   %s", pb, tb)
+	}
+	if plain.Cycles != traced.Cycles {
+		t.Errorf("ROI cycles differ: untraced %d, traced %d", plain.Cycles, traced.Cycles)
+	}
+	if tr.Events() == 0 {
+		t.Error("traced run emitted no events")
+	}
+}
+
+// TestTracedRunEmitsValidTrace round-trips a real simulation's trace
+// through the parser and validator: well-formed JSON, per-track monotone
+// timestamps, every B matched by an E.
+func TestTracedRunEmitsValidTrace(t *testing.T) {
+	tr := telemetry.NewTracer(telemetry.Options{TraceEvents: true})
+	runTraced(t, tr)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := telemetry.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTrace(evs); err != nil {
+		t.Fatal(err)
+	}
+	// A real run exercises every pillar: spans (directory transactions),
+	// complete events (DRAM/link), and instants (fills).
+	phases := map[string]int{}
+	for _, ev := range evs {
+		phases[ev.Ph]++
+	}
+	for _, ph := range []string{"B", "E", "X", "i", "M"} {
+		if phases[ph] == 0 {
+			t.Errorf("trace has no %q events (got %v)", ph, phases)
+		}
+	}
+	if tr.Dropped() > 0 {
+		t.Logf("note: %d events dropped (lane exhaustion)", tr.Dropped())
+	}
+}
+
+// TestResultCarriesMetricsSnapshot checks that every Run result includes
+// the named-metrics view of its counters, ready for the result-cache
+// envelope.
+func TestResultCarriesMetricsSnapshot(t *testing.T) {
+	res := runTraced(t, nil)
+	if len(res.Metrics) == 0 {
+		t.Fatal("result has no metrics snapshot")
+	}
+	v, ok := res.Metrics.Get("dve_ops_total")
+	if !ok {
+		t.Fatal("snapshot missing dve_ops_total")
+	}
+	if uint64(v) != res.Counters.Ops {
+		t.Errorf("dve_ops_total = %v, counters say %d", v, res.Counters.Ops)
+	}
+}

@@ -8,6 +8,7 @@ package mem
 
 import (
 	"dve/internal/sim"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 )
 
@@ -56,6 +57,13 @@ type Controller struct {
 	// dead marks a killed controller (socket-level RAS event): every read
 	// fails its ECC check and writes are acknowledged but dropped.
 	dead bool
+
+	// Trace, when non-nil, records each access as a complete interval on
+	// the socket's mem track. Intervals are stamped at issue time (ts =
+	// now, dur = completion - now) rather than at bank start, because bank
+	// start times regress across banks and would break per-track
+	// timestamp monotonicity.
+	Trace *telemetry.Tracer
 
 	// Stats.
 	Reads, Writes      uint64
@@ -156,6 +164,10 @@ func (mc *Controller) Read(a topology.Addr, fn func(failed bool)) {
 		// bank or bus is occupied.
 		mc.DeadReads++
 		mc.FailedReads++
+		if mc.Trace != nil {
+			mc.Trace.Complete(telemetry.CompMem, mc.Socket, "dram-read-dead",
+				"addr", uint64(a), mc.eng.Now(), mc.tCL)
+		}
 		mc.eng.ScheduleFn(mc.tCL, readReply, fn, 1)
 		return
 	}
@@ -172,6 +184,11 @@ func (mc *Controller) Read(a topology.Addr, fn func(failed bool)) {
 	if mc.FaultFn != nil && mc.FaultFn(a) {
 		failed = 1
 		mc.FailedReads++
+	}
+	if mc.Trace != nil {
+		now := mc.eng.Now()
+		mc.Trace.Complete(telemetry.CompMem, mc.Socket, "dram-read",
+			"addr", uint64(a), now, done-now)
 	}
 	mc.eng.AtFn(done, readReply, fn, failed)
 }
@@ -199,6 +216,10 @@ func (mc *Controller) pickMirrorChannel(co topology.DRAMCoord) int {
 func (mc *Controller) Write(a topology.Addr, fn func()) {
 	if mc.dead {
 		mc.DroppedWrites++
+		if mc.Trace != nil {
+			mc.Trace.Complete(telemetry.CompMem, mc.Socket, "dram-write-dropped",
+				"addr", uint64(a), mc.eng.Now(), mc.tCL)
+		}
 		mc.eng.Schedule(mc.tCL, fn)
 		return
 	}
@@ -210,10 +231,20 @@ func (mc *Controller) Write(a topology.Addr, fn func()) {
 		if d1 > done {
 			done = d1
 		}
+		if mc.Trace != nil {
+			now := mc.eng.Now()
+			mc.Trace.Complete(telemetry.CompMem, mc.Socket, "dram-write",
+				"addr", uint64(a), now, done-now)
+		}
 		mc.eng.At(done, fn)
 		return
 	}
 	done := mc.access(co.Channel, co, true)
+	if mc.Trace != nil {
+		now := mc.eng.Now()
+		mc.Trace.Complete(telemetry.CompMem, mc.Socket, "dram-write",
+			"addr", uint64(a), now, done-now)
+	}
 	mc.eng.At(done, fn)
 }
 

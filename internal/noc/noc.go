@@ -5,7 +5,10 @@
 // and models serialization so that bandwidth effects are visible.
 package noc
 
-import "dve/internal/sim"
+import (
+	"dve/internal/sim"
+	"dve/internal/telemetry"
+)
 
 // Message sizes in bytes: a control message carries an 8-byte header; a data
 // message additionally carries a 64-byte cache line.
@@ -71,6 +74,12 @@ type Link struct {
 
 	Msgs  uint64
 	Bytes uint64
+
+	// Trace, when non-nil, records every message as a complete interval
+	// [serialization start, delivery) on the sending socket's link track.
+	// Per-direction starts are monotone (nextFree only advances), so the
+	// track's timestamps are monotone by construction.
+	Trace *telemetry.Tracer
 }
 
 // NewLink creates the inter-socket link with the given one-way latency.
@@ -94,6 +103,10 @@ func (l *Link) deliveryTime(src, bytes int) sim.Cycle {
 	l.nextFree[dir] = start + ser
 	l.Msgs++
 	l.Bytes += uint64(bytes)
+	if l.Trace != nil {
+		l.Trace.Complete(telemetry.CompLink, src, "xfer", "bytes", uint64(bytes),
+			start, ser+l.latency)
+	}
 	return start + ser + l.latency
 }
 

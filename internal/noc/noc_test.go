@@ -99,6 +99,42 @@ func TestLinkReset(t *testing.T) {
 	}
 }
 
+// countHandler is the typed-path delivery handler; package-level so that
+// SendFn calls with it are allocation-free.
+func countHandler(arg any, v uint64) { *arg.(*uint64) += v }
+
+// TestLinkSendFnDisabledProbeAllocs pins the telemetry contract on the link
+// hot path: with Trace nil (the default) SendFn costs one nil check and
+// zero allocations. Each batch schedules an alignment event exactly one
+// ring revolution (4096 cycles) after its start so every batch reuses the
+// same calendar buckets and the warm-up batch grows all needed capacity.
+func TestLinkSendFnDisabledProbeAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, 150)
+	if l.Trace != nil {
+		t.Fatal("fresh link has a tracer attached")
+	}
+	var delivered uint64
+	nop := func() {}
+	batch := func() {
+		start := eng.Now()
+		for i := 0; i < 64; i++ {
+			// 64 data messages one way: 64 serialization slots + latency
+			// stay well inside one ring revolution.
+			l.SendFn(0, DataBytes, countHandler, &delivered, 1)
+		}
+		eng.At(start+4096, nop)
+		eng.Run()
+	}
+	batch()
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Fatalf("SendFn with nil tracer allocated %.2f times per batch, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("no deliveries ran")
+	}
+}
+
 func TestLinkLatencyFromConfig(t *testing.T) {
 	c := topology.Default(topology.ProtoDeny)
 	eng := sim.NewEngine()

@@ -1,6 +1,7 @@
 package ras
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"dve/internal/fault"
 	"dve/internal/results"
 	"dve/internal/stats"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -85,6 +87,11 @@ type RunReport struct {
 	Journal *Journal
 	// JournalPath is where the JSON journal was written ("" if no OutDir).
 	JournalPath string
+	// FlightPath is where the flight-recorder dump was written (fresh runs
+	// that failed an assertion or killed a socket, with OutDir set; ""
+	// otherwise). Excluded from the cached bytes: the dump is a diagnostic
+	// of the run that produced it, not part of the result.
+	FlightPath string `json:"-"`
 	// Violations lists failed campaign assertions; empty means the run
 	// passed (zero SDC, zero invariant violations, DUEs only when the
 	// model permits, kill scenarios degraded and finished).
@@ -192,6 +199,12 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 	}
 	eng := NewEngine(ec, set)
 
+	// Every fresh run carries a recorder-only tracer (no trace-event
+	// buffering): probes only observe, so journal byte-identity across
+	// repeated runs is preserved, and when an assertion fails below the
+	// recent protocol timeline is already in hand.
+	tracer := telemetry.NewTracer(telemetry.Options{FlightRecorderLines: 256})
+
 	res, err := dve.Run(spec, dve.RunConfig{
 		Cfg:              cfg,
 		MeasureOps:       cc.MeasureOps,
@@ -199,6 +212,7 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 		Prepare:          eng.Attach,
 		ScrubIntervalCyc: sc.ScrubIntervalCyc,
 		ScrubBatch:       sc.ScrubBatch,
+		Telemetry:        tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -245,6 +259,22 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 	}
 	if err := writeJournal(cc, rep); err != nil {
 		return nil, err
+	}
+	// Failed assertions and socket-kill scenarios get the flight recorder's
+	// timeline next to the journal. Fresh runs only: a cache hit replays a
+	// result, not the recorder that watched it.
+	if cc.OutDir != "" && (len(rep.Violations) > 0 || sc.KillAtCyc > 0) {
+		if rec := tracer.Recorder(); rec != nil {
+			b, err := json.MarshalIndent(rec.Dump(), "", " ")
+			if err != nil {
+				return nil, err
+			}
+			rep.FlightPath = filepath.Join(cc.OutDir,
+				fmt.Sprintf("%s-seed%d-flight.json", rep.Scenario, rep.Seed))
+			if err := os.WriteFile(rep.FlightPath, b, 0o644); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return rep, nil
 }

@@ -42,7 +42,9 @@ import (
 
 // SchemaVersion invalidates the whole cache when keyed inputs or payload
 // shapes change meaning.
-const SchemaVersion = 1
+//
+// History: 2 — dve.Result grew the telemetry metrics snapshot.
+const SchemaVersion = 2
 
 // Key is a content-address: the stable hash of a result's full input set.
 type Key string

@@ -17,7 +17,8 @@
 //	               -> 503 while draining
 //	GET /result/<key> -> 200 cached payload | 202 queued/running
 //	                  | 500 failed (body has the cell error) | 404 unknown
-//	GET /metrics   -> 200 service counters + cache statistics
+//	GET /metrics   -> 200 service counters + cache statistics (JSON)
+//	GET /metrics/prom -> 200 the same metrics in Prometheus text format
 //
 // Results are never invented by the service: a 200 from /result is always
 // the validated cache entry, so a client sees exactly the bytes a local
@@ -35,6 +36,8 @@ import (
 	"dve/internal/dve"
 	"dve/internal/experiments"
 	"dve/internal/results"
+	"dve/internal/stats"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -83,6 +86,10 @@ type Server struct {
 
 	enqueued, completed, failed, rejected atomic.Uint64
 
+	// started anchors the uptime report (stats.Stopwatch is the sanctioned
+	// wall clock; the service is measurement infrastructure, not simulation).
+	started stats.Stopwatch
+
 	// runCell executes one cell; defaults to the runner's cached path.
 	// Tests swap it to control timing without running simulations.
 	runCell func(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, bool, error)
@@ -106,6 +113,7 @@ func New(cfg Config) (*Server, error) {
 		depth:   cfg.QueueDepth,
 		queue:   make(chan job, cfg.QueueDepth),
 		jobs:    make(map[results.Key]*jobState),
+		started: stats.StartWallClock(),
 	}
 	s.runCell = s.runner.RunCell
 	return s, nil
@@ -192,17 +200,22 @@ type runResponse struct {
 	Error string       `json:"error,omitempty"`
 }
 
-// Metrics is the GET /metrics payload.
+// Metrics is the GET /metrics payload. UptimeSeconds and Running make a
+// wedged pool visible: a service whose Running stays pinned at Workers with
+// QueueLen > 0 while Completed stops moving is stuck, which cumulative
+// counters alone cannot show.
 type Metrics struct {
-	Workers    int           `json:"workers"`
-	QueueDepth int           `json:"queue_depth"`
-	QueueLen   int           `json:"queue_len"`
-	Enqueued   uint64        `json:"enqueued"`
-	Completed  uint64        `json:"completed"`
-	Failed     uint64        `json:"failed"`
-	Rejected   uint64        `json:"rejected"`
-	Draining   bool          `json:"draining"`
-	Cache      results.Stats `json:"cache"`
+	Workers       int           `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueLen      int           `json:"queue_len"`
+	Running       int           `json:"running"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Enqueued      uint64        `json:"enqueued"`
+	Completed     uint64        `json:"completed"`
+	Failed        uint64        `json:"failed"`
+	Rejected      uint64        `json:"rejected"`
+	Draining      bool          `json:"draining"`
+	Cache         results.Stats `json:"cache"`
 }
 
 // Handler returns the service's HTTP routes.
@@ -211,6 +224,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/result/", s.handleResult)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/prom", s.handlePromMetrics)
 	return mux
 }
 
@@ -371,23 +385,84 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(payload)
 }
 
+// snapshotMetrics assembles the current Metrics under the job-table lock.
+func (s *Server) snapshotMetrics() Metrics {
+	s.mu.Lock()
+	draining := s.draining
+	running := 0
+	for _, st := range s.jobs {
+		if st.status == "running" {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	return Metrics{
+		Workers:       s.workers,
+		QueueDepth:    s.depth,
+		QueueLen:      len(s.queue),
+		Running:       running,
+		UptimeSeconds: s.started.Elapsed().Seconds(),
+		Enqueued:      s.enqueued.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
+		Draining:      draining,
+		Cache:         s.cache.Stats(),
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Metrics{
-		Workers:    s.workers,
-		QueueDepth: s.depth,
-		QueueLen:   len(s.queue),
-		Enqueued:   s.enqueued.Load(),
-		Completed:  s.completed.Load(),
-		Failed:     s.failed.Load(),
-		Rejected:   s.rejected.Load(),
-		Draining:   draining,
-		Cache:      s.cache.Stats(),
-	})
+	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+// handlePromMetrics serves the same service metrics in Prometheus text
+// exposition format (for scraping alongside the JSON /metrics).
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.snapshotMetrics()
+	reg := telemetry.NewRegistry()
+	reg.Gauge("dveserve_uptime_seconds", "host seconds since the service started",
+		func() float64 { return m.UptimeSeconds })
+	reg.Gauge("dveserve_workers", "simulation worker pool size",
+		func() float64 { return float64(m.Workers) })
+	reg.Gauge("dveserve_queue_depth", "queue capacity",
+		func() float64 { return float64(m.QueueDepth) })
+	reg.Gauge("dveserve_queue_len", "cells waiting for a worker",
+		func() float64 { return float64(m.QueueLen) })
+	reg.Gauge("dveserve_running", "cells executing right now",
+		func() float64 { return float64(m.Running) })
+	reg.Gauge("dveserve_draining", "1 while shutting down gracefully",
+		func() float64 { return b2f(m.Draining) })
+	reg.Counter("dveserve_enqueued_total", "cells accepted into the queue",
+		func() float64 { return float64(m.Enqueued) })
+	reg.Counter("dveserve_completed_total", "cells finished successfully",
+		func() float64 { return float64(m.Completed) })
+	reg.Counter("dveserve_failed_total", "cells that errored",
+		func() float64 { return float64(m.Failed) })
+	reg.Counter("dveserve_rejected_total", "enqueues refused with 429",
+		func() float64 { return float64(m.Rejected) })
+	reg.Counter("dveserve_cache_hits_total", "result-cache hits",
+		func() float64 { return float64(m.Cache.Hits) })
+	reg.Counter("dveserve_cache_misses_total", "result-cache misses",
+		func() float64 { return float64(m.Cache.Misses) })
+	reg.Counter("dveserve_cache_corrupt_total", "cache entries rejected as corrupt",
+		func() float64 { return float64(m.Cache.Corrupt) })
+	reg.Counter("dveserve_cache_puts_total", "cache writes",
+		func() float64 { return float64(m.Cache.Puts) })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

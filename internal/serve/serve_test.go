@@ -321,3 +321,70 @@ func readAll(r *http.Response) ([]byte, error) {
 	_, err := buf.ReadFrom(r.Body)
 	return buf.Bytes(), err
 }
+
+// TestPrometheusEndpoint checks the text-format exposition: a second
+// scrape surface over the same counters as the JSON /metrics, suitable
+// for a stock Prometheus scraper.
+func TestPrometheusEndpoint(t *testing.T) {
+	s := newTestServer(t, 1, 4, func(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, bool, error) {
+		return fakeResult(spec, cfg), false, nil
+	})
+	s.Start()
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postRun(t, ts.URL, `{"workload":"fft","protocol":"deny"}`)
+	waitForMetrics(t, ts.URL, func(m Metrics) bool { return m.Completed == 1 })
+
+	r, err := http.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics/prom = %d, want 200", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	body, err := readAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE dveserve_uptime_seconds gauge",
+		"# TYPE dveserve_enqueued_total counter",
+		"dveserve_enqueued_total 1",
+		"dveserve_completed_total 1",
+		"dveserve_workers 1",
+		"dveserve_running 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsUptimeAndRunning checks the JSON metrics additions: uptime
+// advances monotonically and running counts in-flight worker jobs (the
+// wedged-pool signal: queue drained but running stuck > 0).
+func TestMetricsUptimeAndRunning(t *testing.T) {
+	block := make(chan struct{})
+	s := newTestServer(t, 1, 4, func(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, bool, error) {
+		<-block
+		return fakeResult(spec, cfg), false, nil
+	})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postRun(t, ts.URL, `{"workload":"fft","protocol":"deny"}`)
+	m := waitForMetrics(t, ts.URL, func(m Metrics) bool { return m.Running == 1 })
+	if m.UptimeSeconds < 0 {
+		t.Errorf("uptime went backwards: %v", m.UptimeSeconds)
+	}
+	close(block)
+	waitForMetrics(t, ts.URL, func(m Metrics) bool { return m.Completed == 1 && m.Running == 0 })
+	s.Drain()
+}

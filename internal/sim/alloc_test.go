@@ -52,6 +52,30 @@ func TestScheduleFnSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestDispatchProbeDisabledAllocs pins the telemetry contract on the hot
+// path: with OnDispatch nil (the default — no tracer attached) the dispatch
+// loop pays one predictable nil check and allocates nothing. A regression
+// here would tax every untraced experiment for an observability feature it
+// did not ask for.
+func TestDispatchProbeDisabledAllocs(t *testing.T) {
+	e := NewEngine()
+	if e.OnDispatch != nil {
+		t.Fatal("fresh engine has a dispatch probe attached")
+	}
+	var total uint64
+	batch := func() {
+		for i := 0; i < 4096; i++ {
+			e.ScheduleFn(benchDelays[i%len(benchDelays)], addHandler, &total, 1)
+		}
+		e.ScheduleFn(ringSize, addHandler, &total, 0)
+		e.Run()
+	}
+	batch()
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Fatalf("dispatch with nil probe allocated %.2f times per batch, want 0", allocs)
+	}
+}
+
 func TestDaemonScheduleSteadyStateAllocs(t *testing.T) {
 	e := NewEngine()
 	var ticks uint64

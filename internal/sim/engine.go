@@ -95,6 +95,14 @@ type Engine struct {
 	demand int
 	// stopped reports whether Stop was called during the current Run.
 	stopped bool
+
+	// OnDispatch, when non-nil, observes every dispatched event just before
+	// its handler runs: the advanced clock and the remaining queue depth.
+	// It is a plain func field (not an interface) so the disabled path is a
+	// single nil check per event, and it must only observe — an OnDispatch
+	// that schedules events or mutates engine state breaks the determinism
+	// contract (telemetry's no-perturbation rule).
+	OnDispatch func(now Cycle, pending int)
 }
 
 // NewEngine returns an engine with an empty event queue at cycle 0.
@@ -169,6 +177,9 @@ func (e *Engine) Run() Cycle {
 			e.demand--
 		}
 		e.now = ev.when
+		if e.OnDispatch != nil {
+			e.OnDispatch(e.now, e.size)
+		}
 		ev.h(ev.arg, ev.v)
 	}
 	return e.now
@@ -189,6 +200,9 @@ func (e *Engine) RunUntil(limit Cycle) Cycle {
 			e.demand--
 		}
 		e.now = ev.when
+		if e.OnDispatch != nil {
+			e.OnDispatch(e.now, e.size)
+		}
 		ev.h(ev.arg, ev.v)
 	}
 	if e.now < limit {

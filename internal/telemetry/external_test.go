@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// validateTrace points at a trace-event JSON file produced by a real
+// simulator run (dvesim -trace-events). CI captures a quick-scale trace
+// and re-invokes this test binary with the flag set; without it the test
+// skips, so `go test ./...` stays hermetic.
+var validateTrace = flag.String("validate-trace", "",
+	"path to a Chrome trace-event JSON file to parse and validate")
+
+func TestValidateExternalTrace(t *testing.T) {
+	if *validateTrace == "" {
+		t.Skip("no -validate-trace file given")
+	}
+	f, err := os.Open(*validateTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ParseTrace(f)
+	if err != nil {
+		t.Fatalf("parse %s: %v", *validateTrace, err)
+	}
+	if len(evs) == 0 {
+		t.Fatalf("%s contains no trace events", *validateTrace)
+	}
+	if err := ValidateTrace(evs); err != nil {
+		t.Fatalf("validate %s: %v", *validateTrace, err)
+	}
+	t.Logf("%s: %d events, all tracks monotone, all spans matched", *validateTrace, len(evs))
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import "sort"
+
+// FlightEvent is one entry of a flight-recorder dump: a recent protocol
+// event in the lead-up to an invariant violation or socket kill.
+type FlightEvent struct {
+	Cycle  uint64 `json:"cycle"`
+	Seq    uint64 `json:"seq"` // global emission order, breaks same-cycle ties
+	Socket int    `json:"socket"`
+	Comp   string `json:"comp"`
+	Kind   string `json:"kind"`
+	Line   uint64 `json:"line"`
+}
+
+// flightRec is the in-ring representation (Component kept numeric so a Note
+// on the hot path never formats strings).
+type flightRec struct {
+	cycle uint64
+	seq   uint64
+	comp  Component
+	kind  string
+	line  uint64
+}
+
+// FlightRecorder keeps a fixed-size ring of the most recent protocol events
+// per socket. Recording is append-into-ring only — no allocation after
+// construction, no feedback into the simulation — so it can stay armed for
+// whole campaigns. Dump linearises the rings into one deterministic
+// timeline.
+type FlightRecorder struct {
+	rings [][]flightRec // rings[socket], len == cap == size once warm
+	pos   []int         // next write index per socket
+	size  int
+	seq   uint64
+}
+
+// NewFlightRecorder builds a recorder with `lines` entries per socket.
+func NewFlightRecorder(sockets, lines int) *FlightRecorder {
+	if sockets <= 0 {
+		sockets = 2
+	}
+	if lines <= 0 {
+		lines = 256
+	}
+	r := &FlightRecorder{
+		rings: make([][]flightRec, sockets),
+		pos:   make([]int, sockets),
+		size:  lines,
+	}
+	for s := range r.rings {
+		r.rings[s] = make([]flightRec, 0, lines)
+	}
+	return r
+}
+
+// grow extends the per-socket state when a higher socket id shows up.
+func (r *FlightRecorder) grow(socket int) {
+	for len(r.rings) <= socket {
+		r.rings = append(r.rings, make([]flightRec, 0, r.size))
+		r.pos = append(r.pos, 0)
+	}
+}
+
+// Note records one protocol event, overwriting the socket's oldest entry
+// once the ring is full.
+func (r *FlightRecorder) Note(cycle uint64, socket int, c Component, kind string, line uint64) {
+	if socket < 0 {
+		socket = 0
+	}
+	if socket >= len(r.rings) {
+		r.grow(socket)
+	}
+	rec := flightRec{cycle: cycle, seq: r.seq, comp: c, kind: kind, line: line}
+	r.seq++
+	ring := r.rings[socket]
+	if len(ring) < r.size {
+		r.rings[socket] = append(ring, rec)
+		return
+	}
+	ring[r.pos[socket]] = rec
+	r.pos[socket] = (r.pos[socket] + 1) % r.size
+}
+
+// Dump merges every socket's ring into one slice ordered by (cycle, seq) —
+// the exact emission order, reconstructed — ready for JSON serialisation in
+// a failure report. The recorder keeps recording afterwards.
+func (r *FlightRecorder) Dump() []FlightEvent {
+	var out []FlightEvent
+	for socket := range r.rings {
+		for i := range r.rings[socket] {
+			rec := &r.rings[socket][i]
+			out = append(out, FlightEvent{
+				Cycle: rec.cycle, Seq: rec.seq, Socket: socket,
+				Comp: rec.comp.String(), Kind: rec.kind, Line: rec.line,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dve/internal/stats"
+)
+
+// The metrics registry is a *named view* over the simulator's counter
+// fields: registration binds a metric name to a closure reading the live
+// value, so one registry built around a stats.Counters (or a serve.Server)
+// can be snapshotted repeatedly without copying state around. Names follow
+// Prometheus conventions ([a-zA-Z_][a-zA-Z0-9_]*, unit-suffixed).
+
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+// kindNames is indexed by metricKind (array lookup keeps statecover quiet).
+var kindNames = [3]string{"counter", "gauge", "histogram"}
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	val  func() float64          // counterKind, gaugeKind
+	hist func() *stats.Histogram // histogramKind
+}
+
+// Registry holds named metrics in registration order (which is therefore
+// the exposition and snapshot order — deterministic by construction).
+type Registry struct {
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) add(m metric) {
+	if !validName(m.name) {
+		panic("telemetry: invalid metric name " + m.name)
+	}
+	if r.names[m.name] {
+		panic("telemetry: duplicate metric " + m.name)
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a monotonically non-decreasing metric.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: counterKind, val: fn})
+}
+
+// Gauge registers a metric that can move both ways.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: gaugeKind, val: fn})
+}
+
+// Histogram registers a stats.Histogram-backed distribution. fn may return
+// nil (exposed as an empty histogram).
+func (r *Registry) Histogram(name, help string, fn func() *stats.Histogram) {
+	r.add(metric{name: name, help: help, kind: histogramKind, hist: fn})
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Histograms expose cumulative power-of-two
+// buckets derived from stats.Histogram.Buckets().
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for i := range r.metrics {
+		m := &r.metrics[i]
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kindNames[m.kind]); err != nil {
+			return err
+		}
+		if m.kind != histogramKind {
+			if _, err := fmt.Fprintf(w, "%s %g\n", m.name, m.val()); err != nil {
+				return err
+			}
+			continue
+		}
+		h := m.hist()
+		var count, cum uint64
+		var mean float64
+		if h != nil {
+			count = h.Count()
+			mean = h.Mean()
+			for _, b := range h.Buckets() {
+				cum += b[1]
+				// Buckets are [2^i, 2^(i+1)) — the upper edge is the le label.
+				le := b[0] * 2
+				if b[0] == 0 {
+					le = 1
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.name, le, cum); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", m.name, mean*float64(count), m.name, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample is one snapshotted metric value.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a point-in-time reading of a whole registry, in registration
+// order — the shape embedded in result-cache envelopes.
+type Snapshot []Sample
+
+// Snapshot reads every metric. Histograms flatten to _count, _mean, _p50,
+// _p99 and _max samples (the aggregate the sweep tables already consume).
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot, 0, len(r.metrics))
+	for i := range r.metrics {
+		m := &r.metrics[i]
+		if m.kind != histogramKind {
+			out = append(out, Sample{Name: m.name, Value: m.val()})
+			continue
+		}
+		h := m.hist()
+		if h == nil {
+			out = append(out, Sample{Name: m.name + "_count"})
+			continue
+		}
+		out = append(out,
+			Sample{Name: m.name + "_count", Value: float64(h.Count())},
+			Sample{Name: m.name + "_mean", Value: h.Mean()},
+			Sample{Name: m.name + "_p50", Value: float64(h.Percentile(50))},
+			Sample{Name: m.name + "_p99", Value: float64(h.Percentile(99))},
+			Sample{Name: m.name + "_max", Value: float64(h.Max())},
+		)
+	}
+	return out
+}
+
+// Get returns the sample with the given name, or false. Linear scan — the
+// snapshot is small and this is a test/reporting helper.
+func (s Snapshot) Get(name string) (float64, bool) {
+	for i := range s {
+		if s[i].Name == name {
+			return s[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sorted returns a name-ordered copy (for table rendering).
+func (s Snapshot) Sorted() Snapshot {
+	out := make(Snapshot, len(s))
+	copy(out, s)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CountersRegistry builds the standard named view over a run's
+// stats.Counters. The closures read c live, so the registry can be built
+// before the run and snapshotted after it.
+func CountersRegistry(c *stats.Counters) *Registry {
+	r := NewRegistry()
+	u := func(p *uint64) func() float64 { return func() float64 { return float64(*p) } }
+
+	r.Counter("dve_cycles_total", "simulated cycles in the measured ROI", u(&c.Cycles))
+	r.Counter("dve_ops_total", "completed memory operations", u(&c.Ops))
+	r.Counter("dve_reads_total", "read operations", u(&c.Reads))
+	r.Counter("dve_writes_total", "write operations", u(&c.Writes))
+	r.Counter("dve_l1_hits_total", "L1 hits", u(&c.L1Hits))
+	r.Counter("dve_l1_misses_total", "L1 misses", u(&c.L1Misses))
+	r.Counter("dve_llc_hits_total", "LLC hits", u(&c.LLCHits))
+	r.Counter("dve_llc_misses_total", "LLC misses", u(&c.LLCMisses))
+	r.Counter("dve_link_msgs_total", "inter-socket link messages", u(&c.LinkMsgs))
+	r.Counter("dve_link_bytes_total", "inter-socket link bytes", u(&c.LinkBytes))
+	r.Counter("dve_replica_dir_hits_total", "replica directory hits", u(&c.ReplicaDirHits))
+	r.Counter("dve_replica_dir_misses_total", "replica directory misses", u(&c.ReplicaDirMisses))
+	r.Counter("dve_replica_reads_total", "reads served by the replica copy", u(&c.ReplicaReads))
+	r.Counter("dve_home_reads_total", "reads served by the home copy", u(&c.HomeReads))
+	r.Counter("dve_spec_issued_total", "speculative home fetches issued", u(&c.SpecIssued))
+	r.Counter("dve_spec_squashed_total", "speculative home fetches squashed", u(&c.SpecSquashed))
+	r.Counter("dve_dual_writebacks_total", "dual writebacks (home + replica)", u(&c.DualWritebacks))
+	r.Counter("dve_dram_reads_total", "DRAM read accesses", u(&c.DRAMReads))
+	r.Counter("dve_dram_writes_total", "DRAM write accesses", u(&c.DRAMWrites))
+	r.Counter("dve_dram_row_hits_total", "DRAM row-buffer hits", u(&c.RowHits))
+	r.Counter("dve_dram_row_misses_total", "DRAM row-buffer misses", u(&c.RowMisses))
+	r.Counter("dve_dram_busy_cycles_total", "cycles a DRAM channel was busy", u(&c.DRAMBusyCycles))
+	r.Gauge("dve_dram_channels", "DRAM channels modeled",
+		func() float64 { return float64(c.DRAMChannels) })
+	r.Counter("dve_mem_latency_cycles_total", "summed end-to-end memory latency", u(&c.MemLatencySum))
+	r.Counter("dve_mem_accesses_total", "memory accesses in the latency sum", u(&c.MemCount))
+	r.Counter("dve_corrected_errors_total", "errors corrected in place", u(&c.CorrectedErrors))
+	r.Counter("dve_detected_uncorrect_total", "detected-uncorrectable errors (DUE)", u(&c.DetectedUncorrect))
+	r.Counter("dve_recoveries_total", "reads recovered via the replica", u(&c.Recoveries))
+	r.Gauge("dve_degraded_lines", "lines serving from a single copy",
+		func() float64 { return float64(c.DegradedLines) })
+	r.Counter("dve_retried_reads_total", "reads retried after a detection", u(&c.RetriedReads))
+	r.Counter("dve_retry_successes_total", "retries that cleared the error", u(&c.RetrySuccesses))
+	r.Counter("dve_repair_writes_total", "repair writebacks", u(&c.RepairWrites))
+	r.Counter("dve_repair_verify_fails_total", "repairs whose verify re-read failed", u(&c.RepairVerifyFails))
+	r.Gauge("dve_pages_retired", "pages retired from service",
+		func() float64 { return float64(c.PagesRetired) })
+	r.Counter("dve_degraded_reads_total", "reads served while degraded", u(&c.DegradedReads))
+	r.Counter("dve_socket_kills_total", "memory-controller kill events", u(&c.SocketKills))
+	r.Counter("dve_demoted_lines_total", "lines demoted out of replication", u(&c.DemotedLines))
+	r.Counter("dve_silent_corruptions_total", "reads that consumed corrupt data undetected", u(&c.SilentCorruptions))
+	r.Counter("dve_epochs_allow_total", "epochs spent in allow mode", u(&c.EpochsAllow))
+	r.Counter("dve_epochs_deny_total", "epochs spent in deny mode", u(&c.EpochsDeny))
+	r.Histogram("dve_miss_latency_cycles", "LLC miss latency distribution",
+		func() *stats.Histogram { return &c.MissLatency })
+	return r
+}
+
+// CountersSnapshot is the one-shot form: the named view of c right now.
+func CountersSnapshot(c *stats.Counters) Snapshot {
+	return CountersRegistry(c).Snapshot()
+}
