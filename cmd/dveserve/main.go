@@ -1,19 +1,29 @@
-// Command dveserve runs the sweep service: an HTTP front end over the
+// Command dveserve runs the sweep fabric: an HTTP front end over the
 // experiment runner and the content-addressed result cache, so repeated
 // sweeps across a team or a CI fleet pay for each simulation cell once.
+// One binary covers all three roles:
 //
-// Usage:
-//
+//	# A lone node (the default): intake + in-process pool.
 //	dveserve -addr :8437 -cache .dvecache -scale quick -workers 4 -queue 64
+//
+//	# A coordinator plus N workers. Cells are leased to workers with a
+//	# heartbeat deadline; a worker that dies mid-cell costs one lease TTL,
+//	# after which the cell is re-enqueued (and, with no healthy workers
+//	# left, the coordinator's own pool degrades gracefully to cover).
+//	dveserve -role coordinator -addr :8437 -cache .dvecache -lease-ttl 30s
+//	dveserve -role worker -peer http://coord:8437 -id w1 -workers 4
 //
 //	curl -X POST localhost:8437/run \
 //	     -d '{"workloads":["fft","lbm"],"protocols":["baseline","deny"]}'
 //	curl localhost:8437/result/<key>
 //	curl localhost:8437/metrics
 //	curl localhost:8437/metrics/prom   # Prometheus text format
+//	curl localhost:8437/healthz        # liveness
+//	curl localhost:8437/readyz        # readiness (503 once draining)
 //
-// SIGTERM (or Ctrl-C) drains gracefully: intake stops with 503, queued
-// cells finish, then the process exits.
+// SIGTERM (or Ctrl-C) drains gracefully: /readyz flips to 503 first so load
+// balancers stop routing, then intake closes with 503, queued cells finish
+// (on workers or the local pool), then the process exits.
 package main
 
 import (
@@ -23,7 +33,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
 	"dve/internal/experiments"
 	"dve/internal/results"
@@ -32,12 +44,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8437", "listen address")
-		cacheDir = flag.String("cache", ".dvecache", "result cache directory")
+		addr     = flag.String("addr", ":8437", "listen address (coordinator/solo roles)")
+		cacheDir = flag.String("cache", ".dvecache", "result cache directory (coordinator/solo roles)")
 		scale    = flag.String("scale", "quick", "quick|standard|full")
-		workers  = flag.Int("workers", 4, "simulation worker pool size")
+		workers  = flag.Int("workers", 4, "simulation pool size (worker role: concurrent cells)")
 		queue    = flag.Int("queue", 64, "queued-cell bound (enqueues past it get 429)")
 		retries  = flag.Int("retries", 1, "per-cell retry budget")
+		role     = flag.String("role", serve.RoleSolo, "solo|coordinator|worker")
+		peer     = flag.String("peer", "", "coordinator base URL (worker role)")
+		id       = flag.String("id", "", "worker name (worker role; default host:pid)")
+		leaseTTL = flag.Duration("lease-ttl", 30*time.Second,
+			"how long a worker may hold a cell between heartbeats before it is re-enqueued")
+		maxAttempts = flag.Int("max-attempts", 5, "lease grants per cell before it is poisoned")
+		drainGrace  = flag.Duration("drain-grace", 0,
+			"pause between flipping /readyz and closing intake on shutdown")
 	)
 	flag.Parse()
 
@@ -45,6 +65,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *role == "worker" {
+		runWorker(*peer, *id, *workers, *retries, sc)
+		return
+	}
+
 	store, err := results.Open(*cacheDir)
 	if err != nil {
 		fatal(err)
@@ -56,8 +82,12 @@ func main() {
 			Cache:       store,
 			Retries:     *retries,
 		},
-		Workers:    *workers,
-		QueueDepth: *queue,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Role:        *role,
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		DrainGrace:  *drainGrace,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,8 +97,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "dveserve: listening on %s (scale %s, %d workers, queue %d, cache %s)\n",
-		*addr, *scale, *workers, *queue, store.Dir())
+	fmt.Fprintf(os.Stderr, "dveserve: %s listening on %s (scale %s, %d workers, queue %d, lease-ttl %s, cache %s)\n",
+		*role, *addr, *scale, *workers, *queue, *leaseTTL, store.Dir())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -83,6 +113,46 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "dveserve: drained; cache %s\n", store.Stats())
+}
+
+// runWorker runs n fabric worker loops against the coordinator at peer
+// until SIGTERM. Workers hold no cache: results travel in the complete RPC
+// and the coordinator's store is authoritative.
+func runWorker(peer, id string, n, retries int, sc experiments.Scale) {
+	if peer == "" {
+		fatal(fmt.Errorf("-role worker needs -peer <coordinator url>"))
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if n <= 0 {
+		n = 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, err := serve.NewWorker(serve.WorkerConfig{
+			Coordinator: peer,
+			ID:          fmt.Sprintf("%s/%d", id, i),
+			Runner:      experiments.Runner{Scale: sc, Retries: retries},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+			st := w.Stats()
+			fmt.Fprintf(os.Stderr, "dveserve: worker %s done: leases=%d completed=%d failed=%d abandoned=%d rpc-retries=%d\n",
+				w.ID(), st.Leases, st.Completed, st.Failed, st.Abandoned, st.RPCRetries)
+		}()
+	}
+	fmt.Fprintf(os.Stderr, "dveserve: %d worker loop(s) %s -> %s\n", n, id, peer)
+	<-ctx.Done()
+	wg.Wait()
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"dve/internal/dve"
 	"dve/internal/energy"
@@ -67,6 +68,18 @@ type Runner struct {
 	// this only absorbs host-level failures (an evicted cache file, an I/O
 	// hiccup), not simulation bugs.
 	Retries int
+	// RetryBackoff is the base delay before re-running a failed cell,
+	// growing as full-jitter exponential backoff (uniform in
+	// [0, min(RetryBackoffMax, base·2^attempt)]): a transiently-broken
+	// cache dir or disk gets breathing room instead of an immediate
+	// hammering, and jitter decorrelates parallel cells that failed
+	// together. 0 means 100ms. Negative disables sleeping entirely.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff. 0 means 5s.
+	RetryBackoffMax time.Duration
+	// Sleep is the retry sleep source; nil means time.Sleep. Tests inject a
+	// recorder so retry paths stay fast and deterministic.
+	Sleep func(time.Duration)
 }
 
 func (r Runner) parallelism() int {
@@ -120,8 +133,41 @@ func (r Runner) CellKey(spec workload.Spec, cfg topology.Config, classify bool) 
 	}.Hash()
 }
 
-// runRetry is runOne with the runner's per-cell retry budget; on final
-// failure every attempt's error is reported.
+// retrySleep pauses before retry number attempt (0-based) with full-jitter
+// exponential backoff. The jitter source is a splitmix64 step seeded from
+// the workload seed and the attempt — deterministic for a given cell (the
+// determinism analyzer bans the global rand source in this package), yet
+// decorrelated across the cells of a parallel matrix.
+func (r Runner) retrySleep(spec workload.Spec, attempt int) {
+	base, max := r.RetryBackoff, r.RetryBackoffMax
+	if base < 0 {
+		return
+	}
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	cap := base << uint(attempt)
+	if cap > max || cap <= 0 {
+		cap = max
+	}
+	z := uint64(spec.Seed)*0x9e3779b97f4a7c15 + uint64(attempt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	d := time.Duration(float64(z>>11) / float64(1<<53) * float64(cap))
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
+}
+
+// runRetry is runOne with the runner's per-cell retry budget and
+// full-jitter backoff between attempts; on final failure every attempt's
+// error is reported.
 func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, error) {
 	var errs []error
 	for attempt := 0; ; attempt++ {
@@ -133,6 +179,7 @@ func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool)
 		if attempt >= r.Retries {
 			return nil, errors.Join(errs...)
 		}
+		r.retrySleep(spec, attempt)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	"dve/internal/topology"
@@ -86,6 +87,7 @@ type Stats struct {
 	Misses  uint64 `json:"misses"`  // includes corrupt entries
 	Corrupt uint64 `json:"corrupt"` // misses where a file existed but failed validation
 	Puts    uint64 `json:"puts"`
+	Swept   uint64 `json:"swept"` // orphaned .put-* temp files removed at Open
 }
 
 // Lookups returns the total number of Get calls counted.
@@ -105,10 +107,11 @@ func (s Stats) HitRate() float64 {
 type Store struct {
 	dir string
 
-	hits, misses, corrupt, puts atomic.Uint64
+	hits, misses, corrupt, puts, swept atomic.Uint64
 }
 
-// Open creates (if needed) and returns the store rooted at dir.
+// Open creates (if needed) and returns the store rooted at dir, sweeping
+// any orphaned Put temp files a crashed writer left behind.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("results: empty store directory")
@@ -116,7 +119,32 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: opening store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepOrphans()
+	return s, nil
+}
+
+// sweepOrphans removes .put-* temp files from the store root. A crash (or
+// kill -9) between CreateTemp and Rename in Put strands one per attempt,
+// and nothing else ever deletes them. Swept files are counted in Stats —
+// they are the crash-frequency signal of the corruption ledger. The sweep
+// is best-effort and unconditional: if another process is mid-Put right
+// now, removing its temp file only makes that Put fail (and be retried or
+// reported) — it can never corrupt a landed entry, because Rename is the
+// only operation that makes an entry visible.
+func (s *Store) sweepOrphans() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".put-") {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, e.Name())) == nil {
+			s.swept.Add(1)
+		}
+	}
 }
 
 // Dir returns the store's root directory.
@@ -138,6 +166,12 @@ type envelope struct {
 	Sum     string          `json:"sum"`
 	Payload json.RawMessage `json:"payload"`
 }
+
+// PayloadSum checksums the canonical (whitespace-compacted) form of a JSON
+// payload: the digest a stored envelope carries for these bytes. Exported
+// for the sweep fabric, which verifies it end-to-end across the
+// worker→coordinator upload so link corruption cannot poison the cache.
+func PayloadSum(b []byte) (string, error) { return payloadSum(b) }
 
 // payloadSum checksums the canonical (whitespace-compacted) form of a JSON
 // payload, so the digest is stable under any re-indentation the envelope
@@ -270,11 +304,12 @@ func (s *Store) Stats() Stats {
 		Misses:  s.misses.Load(),
 		Corrupt: s.corrupt.Load(),
 		Puts:    s.puts.Load(),
+		Swept:   s.swept.Load(),
 	}
 }
 
 // String renders the traffic snapshot for CLI reporting.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d corrupt=%d puts=%d hit-rate=%.1f%%",
-		s.Hits, s.Misses, s.Corrupt, s.Puts, 100*s.HitRate())
+	return fmt.Sprintf("hits=%d misses=%d corrupt=%d puts=%d swept=%d hit-rate=%.1f%%",
+		s.Hits, s.Misses, s.Corrupt, s.Puts, s.Swept, 100*s.HitRate())
 }

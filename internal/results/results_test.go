@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -247,5 +248,55 @@ func TestHitRate(t *testing.T) {
 	st = Stats{Hits: 9, Misses: 1}
 	if r := st.HitRate(); r != 0.9 {
 		t.Fatalf("hit rate = %v, want 0.9", r)
+	}
+}
+
+// TestOpenSweepsOrphanTempFiles: a crash between CreateTemp and Rename
+// strands a .put-* file that no code path would ever touch again. Open
+// sweeps them and counts the removals in the corruption ledger.
+func TestOpenSweepsOrphanTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, 1)
+	if err := s1.Put(key, testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".put-1234", ".put-orphan"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A .put-* directory must not be swept (Remove would fail silently, but
+	// the counter must not claim it either) and nothing outside the pattern
+	// may be touched.
+	if err := os.WriteFile(filepath.Join(dir, "unrelated.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Swept; got != 2 {
+		t.Fatalf("swept = %d, want 2", got)
+	}
+	for _, name := range []string{".put-1234", ".put-orphan"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep (err %v)", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "unrelated.txt")); err != nil {
+		t.Fatalf("sweep removed an unrelated file: %v", err)
+	}
+	// The landed entry is untouched and still validates.
+	var out payload
+	if !s2.Get(key, &out) || out.Cycles != testPayload().Cycles {
+		t.Fatal("live entry unreadable after sweep")
+	}
+	if !strings.Contains(s2.Stats().String(), "swept=2") {
+		t.Fatalf("stats string %q missing sweep count", s2.Stats().String())
 	}
 }

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The lease queue is the fabric's unit of fault tolerance. A cell is never
+// handed to a worker — it is *leased*: the dequeue carries a deadline, the
+// worker must renew before it passes, and an expired lease silently returns
+// the cell to the queue with its attempt counter bumped. Worker death (or a
+// network partition that looks just like it) therefore costs one lease TTL
+// of latency, never a lost cell. A cell whose attempts exceed the poison
+// cap is quarantined as failed instead of being re-enqueued forever — a
+// deterministic simulator bug must not wedge the whole fabric.
+//
+// Two owner classes exist:
+//
+//   - local leases (the in-process pool) carry no deadline: an in-process
+//     worker can only die with the whole server, so expiry would add a
+//     re-run hazard (a slow simulation is not a dead worker) without adding
+//     any recovery. This keeps a lone solo dveserve byte-for-byte faithful
+//     to the pre-fabric worker pool.
+//   - remote leases expire. The coordinator's ticker calls tick() to scan
+//     deadlines; every public operation also scans lazily so tests can
+//     drive the state machine with a fake clock and no goroutines.
+//
+// Time is a time.Duration read from an injected monotonic clock (the
+// server's stats.Stopwatch in production), never the wall clock directly:
+// internal/serve is a simulation-adjacent package and dvelint's determinism
+// analyzer bans time.Now outside internal/stats.
+
+// queuedCell is one cell waiting for a lease, with its retry history.
+type queuedCell struct {
+	job      job
+	attempts int    // leases granted so far
+	lastErr  string // most recent failure/expiry reason, for poison reports
+}
+
+// lease is one granted cell. id is unique for the server's lifetime so a
+// stale renew/complete from a worker whose lease already expired can never
+// touch the cell's next incarnation.
+type lease struct {
+	id       uint64
+	job      job
+	attempts int
+	owner    string
+	// local leases never expire; remote ones carry a deadline on the
+	// queue's monotonic clock.
+	local    bool
+	deadline time.Duration
+}
+
+// leaseStats is a point-in-time snapshot of the queue's fault counters.
+type leaseStats struct {
+	Pending   int
+	Leased    int
+	Expired   uint64
+	Requeued  uint64
+	Poisoned  uint64
+	Renewals  uint64
+	Completed uint64
+}
+
+// leaseQueue is the coordinator's cell queue. All methods are safe for
+// concurrent use. cond is broadcast on every state change so blocked local
+// workers and Drain observe progress.
+type leaseQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ttl         time.Duration
+	maxAttempts int
+	now         func() time.Duration
+
+	pending []queuedCell // FIFO
+	leases  map[uint64]*lease
+	nextID  uint64
+	closed  bool
+
+	// poisoned reports a cell that exhausted its attempt budget; the server
+	// marks the job failed. Called without mu held.
+	poisoned func(j job, attempts int, lastErr string)
+
+	expired, requeued, poisonCount, renewals, completed uint64 // guarded by mu
+}
+
+func newLeaseQueue(ttl time.Duration, maxAttempts int, now func() time.Duration) *leaseQueue {
+	q := &leaseQueue{
+		ttl:         ttl,
+		maxAttempts: maxAttempts,
+		now:         now,
+		leases:      make(map[uint64]*lease),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// broadcast wakes every waiter (blocked local workers, Drain). Safe to call
+// without mu; used by the server when worker liveness changes so a local
+// pool gated on degraded mode re-evaluates.
+func (q *leaseQueue) broadcast() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// enqueue appends a fresh cell. Returns false when the queue is closed
+// (draining) or already holds depth pending cells.
+func (q *leaseQueue) enqueue(j job, depth int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.pending) >= depth {
+		return false
+	}
+	q.pending = append(q.pending, queuedCell{job: j, attempts: 0})
+	q.cond.Broadcast()
+	return true
+}
+
+// pendingLen reports cells waiting for a lease (the backpressure signal).
+func (q *leaseQueue) pendingLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// grantLocked pops the oldest pending cell into a new lease. Caller holds
+// mu and has checked pending is non-empty.
+func (q *leaseQueue) grantLocked(owner string, local bool) *lease {
+	c := q.pending[0]
+	q.pending = q.pending[1:]
+	q.nextID++
+	l := &lease{
+		id:       q.nextID,
+		job:      c.job,
+		attempts: c.attempts + 1,
+		owner:    owner,
+		local:    local,
+	}
+	if !local {
+		l.deadline = q.now() + q.ttl
+	}
+	q.leases[l.id] = l
+	q.cond.Broadcast()
+	return l
+}
+
+// tryLease grants the oldest pending cell to owner, or reports none
+// available. local leases never expire. Expired remote leases are reaped
+// first, so a cell abandoned by a dead worker is immediately re-grantable.
+func (q *leaseQueue) tryLease(owner string, local bool) (*lease, bool) {
+	q.mu.Lock()
+	poisons := q.reapLocked()
+	var l *lease
+	if len(q.pending) > 0 {
+		l = q.grantLocked(owner, local)
+	}
+	q.mu.Unlock()
+	for _, p := range poisons {
+		q.emitPoison(p)
+	}
+	return l, l != nil
+}
+
+// renew extends a remote lease's deadline. False means the lease is gone —
+// expired, completed, or never granted — and the caller must abandon the
+// cell (its next incarnation belongs to someone else).
+func (q *leaseQueue) renew(id uint64) bool {
+	q.mu.Lock()
+	poisons := q.reapLocked()
+	l, ok := q.leases[id]
+	if ok {
+		if !l.local {
+			l.deadline = q.now() + q.ttl
+		}
+		q.renewals++
+	}
+	q.mu.Unlock()
+	for _, p := range poisons {
+		q.emitPoison(p)
+	}
+	return ok
+}
+
+// complete retires a lease after its cell's result landed in the cache.
+func (q *leaseQueue) complete(id uint64) (job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.leases[id]
+	if !ok {
+		return job{}, false
+	}
+	delete(q.leases, id)
+	q.completed++
+	q.cond.Broadcast()
+	return l.job, true
+}
+
+// completeKey retires whatever incarnation of the cell with this key is in
+// flight: a pending copy is dropped, an outstanding lease is cancelled.
+// Used when a result arrives for a cell whose original lease already
+// expired (a slow-but-alive worker, a duplicated message): the result is
+// valid — simulations are deterministic — so re-running the cell would only
+// waste a worker.
+func (q *leaseQueue) completeKey(key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.pending {
+		if string(q.pending[i].job.key) == key {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			break
+		}
+	}
+	for id, l := range q.leases {
+		if string(l.job.key) == key {
+			delete(q.leases, id)
+			break
+		}
+	}
+	q.cond.Broadcast()
+}
+
+// fail returns a leased cell to the queue (or poisons it past the attempt
+// cap). reason feeds the eventual poison report.
+func (q *leaseQueue) fail(id uint64, reason string) bool {
+	q.mu.Lock()
+	l, ok := q.leases[id]
+	if !ok {
+		q.mu.Unlock()
+		return false
+	}
+	delete(q.leases, id)
+	poison := q.requeueLocked(l, reason)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if poison != nil {
+		q.emitPoison(*poison)
+	}
+	return true
+}
+
+// poisonReport carries one quarantined cell out of the locked region.
+type poisonReport struct {
+	j        job
+	attempts int
+	lastErr  string
+}
+
+func (q *leaseQueue) emitPoison(p poisonReport) {
+	if q.poisoned != nil {
+		q.poisoned(p.j, p.attempts, p.lastErr)
+	}
+}
+
+// requeueLocked re-enqueues a dead lease's cell, or returns a poison report
+// when its attempt budget is spent. mu must be held. Re-enqueued cells go
+// to the front: they are the oldest work in the system and a re-run is
+// latency someone is already waiting on.
+func (q *leaseQueue) requeueLocked(l *lease, reason string) *poisonReport {
+	if l.attempts >= q.maxAttempts {
+		q.poisonCount++
+		return &poisonReport{j: l.job, attempts: l.attempts, lastErr: reason}
+	}
+	q.requeued++
+	q.pending = append([]queuedCell{{job: l.job, attempts: l.attempts, lastErr: reason}}, q.pending...)
+	return nil
+}
+
+// tick reaps expired leases. The coordinator's background ticker calls it;
+// every queue operation also reaps lazily.
+func (q *leaseQueue) tick() {
+	q.mu.Lock()
+	poisons := q.reapLocked()
+	if len(poisons) > 0 || q.closed {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+	for _, p := range poisons {
+		q.emitPoison(p)
+	}
+}
+
+// reapLocked expires overdue remote leases, re-enqueueing or poisoning
+// their cells. mu must be held. Expired leases are processed in lease-id
+// order so re-enqueue and poison-report order never depends on map
+// iteration.
+func (q *leaseQueue) reapLocked() []poisonReport {
+	var dead []*lease
+	now := q.now()
+	for _, l := range q.leases {
+		if !l.local && now >= l.deadline {
+			dead = append(dead, l)
+		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].id < dead[j].id })
+	var poisons []poisonReport
+	for _, l := range dead {
+		delete(q.leases, l.id)
+		q.expired++
+		reason := fmt.Sprintf("lease %d (owner %s) expired after attempt %d", l.id, l.owner, l.attempts)
+		if p := q.requeueLocked(l, reason); p != nil {
+			poisons = append(poisons, *p)
+		}
+	}
+	q.cond.Broadcast()
+	return poisons
+}
+
+// close stops enqueue; pending cells and outstanding leases still drain.
+func (q *leaseQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// waitEmpty blocks until the queue is closed with no pending cells and no
+// outstanding leases: the drain barrier.
+func (q *leaseQueue) waitEmpty() {
+	q.mu.Lock()
+	for !(q.closed && len(q.pending) == 0 && len(q.leases) == 0) {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// acquire blocks until a cell is available and allowed() permits this owner
+// to take it, granting a lease; it returns false when the queue has fully
+// drained (closed, empty, nothing leased) and the worker should exit.
+// allowed is evaluated under the queue lock and must not block. Expiry
+// reaping is the ticker's job, not acquire's: a blocked acquire could not
+// emit poison reports, so it relies on tick()'s broadcast to wake it when
+// expired cells return to pending.
+func (q *leaseQueue) acquire(owner string, local bool, allowed func() bool) (*lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.pending) > 0 && allowed() {
+			return q.grantLocked(owner, local), true
+		}
+		if q.closed && len(q.pending) == 0 && len(q.leases) == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// stats snapshots the queue's counters.
+func (q *leaseQueue) stats() leaseStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return leaseStats{
+		Pending:   len(q.pending),
+		Leased:    len(q.leases),
+		Expired:   q.expired,
+		Requeued:  q.requeued,
+		Poisoned:  q.poisonCount,
+		Renewals:  q.renewals,
+		Completed: q.completed,
+	}
+}

@@ -1,12 +1,19 @@
-// Package serve is the sweep service behind cmd/dveserve: a small HTTP
-// front end over the experiments runner and the content-addressed result
-// cache. Clients enqueue simulation cells (or whole workload×protocol
-// matrices), poll for results by cache key, and read service metrics; a
-// bounded worker pool executes cells, queue-depth backpressure rejects
-// enqueues with 429 when the queue is saturated, and Drain stops intake and
-// finishes the queued work for a graceful shutdown.
+// Package serve is the sweep fabric behind cmd/dveserve: an HTTP front end
+// over the experiments runner and the content-addressed result cache that
+// scales from one process to a coordinator plus N worker nodes without
+// changing what a client sees. Clients enqueue simulation cells (or whole
+// workload×protocol matrices), poll for results by cache key, and read
+// service metrics.
 //
-// API:
+// Execution is organised around a leased cell queue (lease.go): every
+// dequeued cell carries a lease that its worker must renew, expired leases
+// re-enqueue the cell with an attempt counter, and a poison cap quarantines
+// cells that keep dying. Remote workers (worker.go) pull leases over the
+// /fabric API (coordinator.go); when none are registered or all have gone
+// silent, the coordinator degrades gracefully to its in-process pool, so a
+// lone solo dveserve binary behaves exactly like the pre-fabric service.
+//
+// Client API:
 //
 //	POST /run      {"workloads": ["fft"], "protocols": ["deny"],
 //	                "classify": false}
@@ -19,6 +26,14 @@
 //	                  | 500 failed (body has the cell error) | 404 unknown
 //	GET /metrics   -> 200 service counters + cache statistics (JSON)
 //	GET /metrics/prom -> 200 the same metrics in Prometheus text format
+//	GET /healthz   -> 200 while the process is alive (liveness)
+//	GET /readyz    -> 200 accepting intake | 503 draining (readiness; flips
+//	                  before intake closes so load balancers stop routing
+//	                  ahead of the 503s)
+//
+// Resubmitting a matrix is idempotent: cells are keyed by the results
+// content hash, so a cell that is cached answers from disk, and one that is
+// queued or running is attached to, never duplicated.
 //
 // Results are never invented by the service: a 200 from /result is always
 // the validated cache entry, so a client sees exactly the bytes a local
@@ -32,6 +47,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dve/internal/dve"
 	"dve/internal/experiments"
@@ -42,16 +58,40 @@ import (
 	"dve/internal/workload"
 )
 
+// Roles the service can run as. A worker node is not a Server at all — it
+// is a Worker (worker.go) pointed at a coordinator.
+const (
+	RoleSolo        = "solo"        // in-process pool only (the PR 4 service)
+	RoleCoordinator = "coordinator" // remote workers preferred, local pool as fallback
+)
+
 // Config sizes the service.
 type Config struct {
 	// Runner executes cells; its Cache must be set (the cache is the only
 	// place results live — the service holds no payloads in memory).
 	Runner experiments.Runner
-	// Workers is the simulation pool size. 0 means 4.
+	// Workers is the in-process simulation pool size. 0 means 4. In
+	// coordinator role the pool only runs while degraded (no healthy remote
+	// workers).
 	Workers int
-	// QueueDepth bounds cells waiting for a worker; enqueues past it get
+	// QueueDepth bounds cells waiting for a lease; enqueues past it get
 	// 429. 0 means 64.
 	QueueDepth int
+	// Role is RoleSolo (default) or RoleCoordinator.
+	Role string
+	// LeaseTTL is how long a remote worker may hold a cell between
+	// heartbeats before the coordinator re-enqueues it. 0 means 30s.
+	LeaseTTL time.Duration
+	// WorkerTTL is how long a registered worker may go silent before it is
+	// counted unhealthy (degraded-mode input). 0 means 3×LeaseTTL.
+	WorkerTTL time.Duration
+	// MaxAttempts caps lease grants per cell before it is quarantined as
+	// poisoned. 0 means 5.
+	MaxAttempts int
+	// DrainGrace is how long Drain holds between flipping /readyz to 503
+	// and closing intake, giving load balancers time to stop routing.
+	// 0 means no grace window.
+	DrainGrace time.Duration
 }
 
 // job is one queued simulation cell.
@@ -64,6 +104,8 @@ type job struct {
 
 // jobState tracks a cell the service has accepted. States move
 // queued -> running -> done | failed; done cells answer from the cache.
+// A re-enqueued cell (lease expiry, worker-reported failure) shows
+// "running" until its next lease lands — to a polling client both are 202.
 type jobState struct {
 	status string // "queued", "running", "done", "failed"
 	err    string // set when failed
@@ -76,23 +118,62 @@ type Server struct {
 	cache   *results.Store
 	workers int
 	depth   int
+	role    string
 
-	queue chan job
-	wg    sync.WaitGroup
+	leaseTTL   time.Duration
+	workerTTL  time.Duration
+	drainGrace time.Duration
+
+	lq *leaseQueue
+	wg sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[results.Key]*jobState
 	draining bool
 
-	enqueued, completed, failed, rejected atomic.Uint64
+	// ready is the /readyz signal; it flips false at the top of Drain,
+	// strictly before intake starts answering 503.
+	ready atomic.Bool
 
-	// started anchors the uptime report (stats.Stopwatch is the sanctioned
-	// wall clock; the service is measurement infrastructure, not simulation).
+	// remotes is the fabric worker registry. Guarded by remotesMu, which is
+	// never held while taking mu or the lease-queue lock.
+	remotesMu sync.Mutex
+	remotes   map[string]*remoteWorker
+
+	// degraded is true when the local pool is the execution fallback
+	// (coordinator role with no healthy remote workers). Solo role never
+	// sets it: local execution there is the design, not a degradation.
+	degraded            atomic.Bool
+	degradedTransitions atomic.Uint64
+
+	enqueued, completed, failed, rejected atomic.Uint64
+	heartbeats                            atomic.Uint64
+	remoteCompleted, remoteFailed         atomic.Uint64
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+
+	// started anchors the uptime report and the lease clock
+	// (stats.Stopwatch is the sanctioned wall clock; the service is
+	// measurement infrastructure, not simulation).
 	started stats.Stopwatch
+	now     func() time.Duration
+
+	// sleep is the drain-grace pause; swapped by tests for determinism.
+	sleep func(time.Duration)
 
 	// runCell executes one cell; defaults to the runner's cached path.
 	// Tests swap it to control timing without running simulations.
 	runCell func(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, bool, error)
+}
+
+// remoteWorker is one registered fabric worker.
+type remoteWorker struct {
+	id        string
+	lastSeen  time.Duration // on the server's monotonic clock
+	leased    uint64
+	completed uint64
+	failed    uint64
 }
 
 // New builds a server from the config.
@@ -106,30 +187,89 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	switch cfg.Role {
+	case "":
+		cfg.Role = RoleSolo
+	case RoleSolo, RoleCoordinator:
+	default:
+		return nil, fmt.Errorf("serve: unknown role %q (solo|coordinator)", cfg.Role)
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 3 * cfg.LeaseTTL
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
 	s := &Server{
-		runner:  cfg.Runner,
-		cache:   cfg.Runner.Cache,
-		workers: cfg.Workers,
-		depth:   cfg.QueueDepth,
-		queue:   make(chan job, cfg.QueueDepth),
-		jobs:    make(map[results.Key]*jobState),
-		started: stats.StartWallClock(),
+		runner:     cfg.Runner,
+		cache:      cfg.Runner.Cache,
+		workers:    cfg.Workers,
+		depth:      cfg.QueueDepth,
+		role:       cfg.Role,
+		leaseTTL:   cfg.LeaseTTL,
+		workerTTL:  cfg.WorkerTTL,
+		drainGrace: cfg.DrainGrace,
+		jobs:       make(map[results.Key]*jobState),
+		remotes:    make(map[string]*remoteWorker),
+		started:    stats.StartWallClock(),
+		sleep:      time.Sleep,
+	}
+	s.now = s.started.Elapsed
+	s.lq = newLeaseQueue(cfg.LeaseTTL, cfg.MaxAttempts, func() time.Duration { return s.now() })
+	s.lq.poisoned = func(j job, attempts int, lastErr string) {
+		s.failed.Add(1)
+		s.setState(j.key, "failed",
+			fmt.Sprintf("poisoned after %d attempts: %s", attempts, lastErr))
 	}
 	s.runCell = s.runner.RunCell
+	s.ready.Store(true)
+	// A coordinator with no workers yet is degraded from the first cell: the
+	// local pool covers until the fleet arrives.
+	s.degraded.Store(cfg.Role == RoleCoordinator)
 	return s, nil
 }
 
-// Start launches the worker pool.
+// Start launches the in-process pool and the lease-expiry ticker.
 func (s *Server) Start() {
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.localWorker(i)
 	}
+	s.tickStop = make(chan struct{})
+	s.tickDone = make(chan struct{})
+	every := s.leaseTTL / 4
+	if every < 5*time.Millisecond {
+		every = 5 * time.Millisecond
+	}
+	go func() {
+		defer close(s.tickDone)
+		for {
+			select {
+			case <-s.tickStop:
+				return
+			case <-time.After(every):
+				s.lq.tick()
+				s.refreshDegraded()
+			}
+		}
+	}()
 }
 
-// Drain stops accepting new cells, lets the workers finish everything
-// already queued, and returns when the pool has exited. Safe to call once.
+// Drain shuts down gracefully, in load-balancer-friendly order: /readyz
+// flips to 503 first, the grace window elapses, then intake closes (503 on
+// /run), queued cells and outstanding leases finish wherever they are
+// (remote workers keep completing; the local pool covers anything
+// re-enqueued by an expiry), and Drain returns once the queue is empty and
+// the pool has exited. Safe to call more than once; only the first call
+// drains.
 func (s *Server) Drain() {
+	s.ready.Store(false)
+	if s.drainGrace > 0 {
+		s.sleep(s.drainGrace)
+	}
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
@@ -137,32 +277,60 @@ func (s *Server) Drain() {
 	if already {
 		return
 	}
-	close(s.queue)
+	s.lq.close()
+	s.lq.waitEmpty()
 	s.wg.Wait()
+	if s.tickStop != nil {
+		close(s.tickStop)
+		<-s.tickDone
+	}
 }
 
-func (s *Server) worker() {
+// localAllowed gates the in-process pool: always in solo role, only while
+// degraded in coordinator role (healthy remote workers own the queue).
+// Called under the lease-queue lock, so it must stay non-blocking.
+func (s *Server) localAllowed() bool {
+	return s.role == RoleSolo || s.degraded.Load()
+}
+
+func (s *Server) localWorker(i int) {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.setState(j.key, "running", "")
-		res, _, err := s.runCell(j.spec, j.cfg, j.classify)
-		if err != nil {
+	owner := fmt.Sprintf("local-%d", i)
+	for {
+		l, ok := s.lq.acquire(owner, true, s.localAllowed)
+		if !ok {
+			return
+		}
+		s.runLease(l)
+	}
+}
+
+// runLease executes one locally-leased cell. A local failure is final (the
+// runner already spent its retry budget in-process, and there is no other
+// failure domain to try), matching the pre-fabric pool exactly.
+func (s *Server) runLease(l *lease) {
+	j := l.job
+	s.setState(j.key, "running", "")
+	res, _, err := s.runCell(j.spec, j.cfg, j.classify)
+	if err != nil {
+		s.failed.Add(1)
+		s.setState(j.key, "failed", err.Error())
+		s.lq.complete(l.id)
+		return
+	}
+	// The real runner stores its result itself; this backstop keeps
+	// /result serving even when a swapped-in runCell does not.
+	if !s.cache.Contains(j.key) {
+		if err := s.cache.Put(j.key, res); err != nil {
 			s.failed.Add(1)
 			s.setState(j.key, "failed", err.Error())
-			continue
+			s.lq.complete(l.id)
+			return
 		}
-		// The real runner stores its result itself; this backstop keeps
-		// /result serving even when a swapped-in runCell does not.
-		if !s.cache.Contains(j.key) {
-			if err := s.cache.Put(j.key, res); err != nil {
-				s.failed.Add(1)
-				s.setState(j.key, "failed", err.Error())
-				continue
-			}
-		}
-		s.completed.Add(1)
-		s.setState(j.key, "done", "")
 	}
+	s.completed.Add(1)
+	s.setState(j.key, "done", "")
+	s.lq.complete(l.id)
 }
 
 func (s *Server) setState(key results.Key, status, errMsg string) {
@@ -203,11 +371,16 @@ type runResponse struct {
 // Metrics is the GET /metrics payload. UptimeSeconds and Running make a
 // wedged pool visible: a service whose Running stays pinned at Workers with
 // QueueLen > 0 while Completed stops moving is stuck, which cumulative
-// counters alone cannot show.
+// counters alone cannot show. The lease and worker fields are the fabric's
+// fault ledger: expirations, re-enqueues, poisoned cells and degraded-mode
+// transitions are each visible the moment they happen.
 type Metrics struct {
+	Role          string        `json:"role"`
+	Ready         bool          `json:"ready"`
 	Workers       int           `json:"workers"`
 	QueueDepth    int           `json:"queue_depth"`
 	QueueLen      int           `json:"queue_len"`
+	Leased        int           `json:"leased"`
 	Running       int           `json:"running"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
 	Enqueued      uint64        `json:"enqueued"`
@@ -216,15 +389,34 @@ type Metrics struct {
 	Rejected      uint64        `json:"rejected"`
 	Draining      bool          `json:"draining"`
 	Cache         results.Stats `json:"cache"`
+
+	LeaseExpired        uint64 `json:"lease_expired"`
+	Requeued            uint64 `json:"requeued"`
+	Poisoned            uint64 `json:"poisoned"`
+	Renewals            uint64 `json:"renewals"`
+	Heartbeats          uint64 `json:"heartbeats"`
+	WorkersRegistered   int    `json:"workers_registered"`
+	WorkersHealthy      int    `json:"workers_healthy"`
+	Degraded            bool   `json:"degraded"`
+	DegradedTransitions uint64 `json:"degraded_transitions"`
+	RemoteCompleted     uint64 `json:"remote_completed"`
+	RemoteFailed        uint64 `json:"remote_failed"`
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes (client API + fabric API).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/result/", s.handleResult)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics/prom", s.handlePromMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/fabric/register", s.handleFabricRegister)
+	mux.HandleFunc("/fabric/lease", s.handleFabricLease)
+	mux.HandleFunc("/fabric/renew", s.handleFabricRenew)
+	mux.HandleFunc("/fabric/complete", s.handleFabricComplete)
+	mux.HandleFunc("/fabric/fail", s.handleFabricFail)
 	return mux
 }
 
@@ -234,6 +426,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// handleHealthz is liveness: 200 whenever the process can answer at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"role":           s.role,
+		"uptime_seconds": s.started.Elapsed().Seconds(),
+	})
+}
+
+// handleReadyz is readiness: 503 the moment Drain begins, before intake
+// closes, so a load balancer polling it stops routing ahead of the 503s a
+// client would otherwise see.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +525,9 @@ func code2status(code int) string {
 
 // enqueue admits one cell. It returns StatusOK when the result is already
 // on disk, StatusAccepted when the cell was (or already is) queued, and an
-// error with 503 (draining) or 429 (queue saturated).
+// error with 503 (draining) or 429 (queue saturated). Submission is
+// idempotent on the content key: a queued or running cell is attached to,
+// never enqueued twice.
 func (s *Server) enqueue(j job) (int, error) {
 	s.mu.Lock()
 	if s.draining {
@@ -321,31 +535,36 @@ func (s *Server) enqueue(j job) (int, error) {
 		return http.StatusServiceUnavailable, fmt.Errorf("draining: not accepting new cells")
 	}
 	if st, ok := s.jobs[j.key]; ok && st.status != "failed" {
-		// Already cached-done, queued or running: nothing to add. A failed
-		// cell may be retried by enqueueing again.
-		s.mu.Unlock()
-		if st.status == "done" {
+		// Already queued or running: attach, nothing to add. A failed cell
+		// may be retried by enqueueing again, and a done cell whose cache
+		// entry has since been evicted or corrupted is forgotten and
+		// re-enqueued — resubmission is the recovery path for post-
+		// completion cache damage.
+		if st.status != "done" {
+			s.mu.Unlock()
+			return http.StatusAccepted, nil
+		}
+		if s.cache.Contains(j.key) {
+			s.mu.Unlock()
 			return http.StatusOK, nil
 		}
-		return http.StatusAccepted, nil
+		delete(s.jobs, j.key)
 	}
 	if s.cache.Contains(j.key) {
 		s.jobs[j.key] = &jobState{status: "done"}
 		s.mu.Unlock()
 		return http.StatusOK, nil
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.key] = &jobState{status: "queued"}
-		s.enqueued.Add(1)
-		s.mu.Unlock()
-		return http.StatusAccepted, nil
-	default:
+	if !s.lq.enqueue(j, s.depth) {
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		return http.StatusTooManyRequests,
 			fmt.Errorf("queue saturated (%d cells deep): retry later", s.depth)
 	}
+	s.jobs[j.key] = &jobState{status: "queued"}
+	s.enqueued.Add(1)
+	s.mu.Unlock()
+	return http.StatusAccepted, nil
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -396,10 +615,15 @@ func (s *Server) snapshotMetrics() Metrics {
 		}
 	}
 	s.mu.Unlock()
+	registered, healthy := s.workerCounts()
+	ls := s.lq.stats()
 	return Metrics{
+		Role:          s.role,
+		Ready:         s.ready.Load(),
 		Workers:       s.workers,
 		QueueDepth:    s.depth,
-		QueueLen:      len(s.queue),
+		QueueLen:      ls.Pending,
+		Leased:        ls.Leased,
 		Running:       running,
 		UptimeSeconds: s.started.Elapsed().Seconds(),
 		Enqueued:      s.enqueued.Load(),
@@ -408,6 +632,18 @@ func (s *Server) snapshotMetrics() Metrics {
 		Rejected:      s.rejected.Load(),
 		Draining:      draining,
 		Cache:         s.cache.Stats(),
+
+		LeaseExpired:        ls.Expired,
+		Requeued:            ls.Requeued,
+		Poisoned:            ls.Poisoned,
+		Renewals:            ls.Renewals,
+		Heartbeats:          s.heartbeats.Load(),
+		WorkersRegistered:   registered,
+		WorkersHealthy:      healthy,
+		Degraded:            s.degraded.Load(),
+		DegradedTransitions: s.degradedTransitions.Load(),
+		RemoteCompleted:     s.remoteCompleted.Load(),
+		RemoteFailed:        s.remoteFailed.Load(),
 	}
 }
 
@@ -430,12 +666,16 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	reg := telemetry.NewRegistry()
 	reg.Gauge("dveserve_uptime_seconds", "host seconds since the service started",
 		func() float64 { return m.UptimeSeconds })
-	reg.Gauge("dveserve_workers", "simulation worker pool size",
+	reg.Gauge("dveserve_ready", "1 while accepting intake (readyz)",
+		func() float64 { return b2f(m.Ready) })
+	reg.Gauge("dveserve_workers", "in-process simulation pool size",
 		func() float64 { return float64(m.Workers) })
 	reg.Gauge("dveserve_queue_depth", "queue capacity",
 		func() float64 { return float64(m.QueueDepth) })
-	reg.Gauge("dveserve_queue_len", "cells waiting for a worker",
+	reg.Gauge("dveserve_queue_len", "cells waiting for a lease",
 		func() float64 { return float64(m.QueueLen) })
+	reg.Gauge("dveserve_leased", "cells out under a live lease",
+		func() float64 { return float64(m.Leased) })
 	reg.Gauge("dveserve_running", "cells executing right now",
 		func() float64 { return float64(m.Running) })
 	reg.Gauge("dveserve_draining", "1 while shutting down gracefully",
@@ -444,16 +684,40 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		func() float64 { return float64(m.Enqueued) })
 	reg.Counter("dveserve_completed_total", "cells finished successfully",
 		func() float64 { return float64(m.Completed) })
-	reg.Counter("dveserve_failed_total", "cells that errored",
+	reg.Counter("dveserve_failed_total", "cells that errored (incl. poisoned)",
 		func() float64 { return float64(m.Failed) })
 	reg.Counter("dveserve_rejected_total", "enqueues refused with 429",
 		func() float64 { return float64(m.Rejected) })
+	reg.Counter("dveserve_lease_expired_total", "leases that passed their deadline",
+		func() float64 { return float64(m.LeaseExpired) })
+	reg.Counter("dveserve_requeued_total", "cells re-enqueued after expiry or worker failure",
+		func() float64 { return float64(m.Requeued) })
+	reg.Counter("dveserve_poisoned_total", "cells quarantined past the attempt cap",
+		func() float64 { return float64(m.Poisoned) })
+	reg.Counter("dveserve_renewals_total", "lease renewals granted",
+		func() float64 { return float64(m.Renewals) })
+	reg.Counter("dveserve_heartbeats_total", "fabric worker heartbeats received",
+		func() float64 { return float64(m.Heartbeats) })
+	reg.Gauge("dveserve_workers_registered", "fabric workers ever registered",
+		func() float64 { return float64(m.WorkersRegistered) })
+	reg.Gauge("dveserve_workers_healthy", "fabric workers seen within the liveness window",
+		func() float64 { return float64(m.WorkersHealthy) })
+	reg.Gauge("dveserve_degraded", "1 while the local pool is covering for absent workers",
+		func() float64 { return b2f(m.Degraded) })
+	reg.Counter("dveserve_degraded_transitions_total", "degraded-mode entries and exits",
+		func() float64 { return float64(m.DegradedTransitions) })
+	reg.Counter("dveserve_remote_completed_total", "cells completed by fabric workers",
+		func() float64 { return float64(m.RemoteCompleted) })
+	reg.Counter("dveserve_remote_failed_total", "cell failures reported by fabric workers",
+		func() float64 { return float64(m.RemoteFailed) })
 	reg.Counter("dveserve_cache_hits_total", "result-cache hits",
 		func() float64 { return float64(m.Cache.Hits) })
 	reg.Counter("dveserve_cache_misses_total", "result-cache misses",
 		func() float64 { return float64(m.Cache.Misses) })
 	reg.Counter("dveserve_cache_corrupt_total", "cache entries rejected as corrupt",
 		func() float64 { return float64(m.Cache.Corrupt) })
+	reg.Counter("dveserve_cache_swept_total", "orphaned temp files swept at open",
+		func() float64 { return float64(m.Cache.Swept) })
 	reg.Counter("dveserve_cache_puts_total", "cache writes",
 		func() float64 { return float64(m.Cache.Puts) })
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
