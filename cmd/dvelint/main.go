@@ -1,6 +1,6 @@
 // Command dvelint runs the repo's custom static analyzers — the suite in
-// internal/analysis that mechanically prevents the simulator's real bug
-// classes:
+// internal/analysis that mechanically prevents the simulator's and the
+// sweep fabric's real bug classes:
 //
 //	deferredmutation  protocol state mutated across a sim.Engine scheduling
 //	                  boundary (the PR 1 grant/fill-split race shape)
@@ -8,21 +8,47 @@
 //	                  iteration in simulation packages
 //	statecover        non-exhaustive switches over protocol enums
 //	guardedfield      "// guarded by <mu>" fields accessed without the lock
+//	lockhold          sync.Mutex/RWMutex held across a blocking operation
+//	goleak            goroutines in long-lived types with no stop path
+//	httpdiscipline    un-cancellable outbound RPCs, leaked response bodies,
+//	                  handler writes after WriteHeader / silent error paths
+//	atomicmix         fields accessed both atomically and plainly, and
+//	                  guarded reference fields returned past their lock
+//
+// plus the built-in staleignore check, which flags //lint:ignore comments
+// that no longer suppress anything (code fixed, analyzer renamed) or that
+// lack the mandatory justification.
 //
 // Usage:
 //
-//	dvelint [-checks list] [packages]
+//	dvelint [-checks list] [-json] [packages]
 //
 // Packages default to ./... and accept the go tool's pattern syntax.
 // Findings are suppressed with a justified //lint:ignore comment:
 //
 //	//lint:ignore determinism CLI-side reporting, never runs in simulation
 //
-// Exit status is 1 if any finding remains, 0 otherwise.
+// With -json, diagnostics are emitted as a single JSON document on stdout
+// (suppressed findings included, marked) — the schema is documented in
+// internal/analysis/README.md:
+//
+//	{
+//	  "schema": "dvelint/v1",
+//	  "findings": [
+//	    {"file": "internal/serve/serve.go", "line": 41, "column": 2,
+//	     "analyzer": "lockhold", "message": "...",
+//	     "suppressed": false, "justification": ""}
+//	  ],
+//	  "count": {"active": 1, "suppressed": 0}
+//	}
+//
+// Exit status is 1 if any active (unsuppressed) finding remains, 0
+// otherwise — with or without -json.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,24 +57,56 @@ import (
 	"strings"
 
 	"dve/internal/analysis"
+	"dve/internal/analysis/atomicmix"
 	"dve/internal/analysis/deferredmutation"
 	"dve/internal/analysis/determinism"
+	"dve/internal/analysis/goleak"
 	"dve/internal/analysis/guardedfield"
+	"dve/internal/analysis/httpdiscipline"
+	"dve/internal/analysis/lockhold"
 	"dve/internal/analysis/statecover"
 )
 
 var all = []*analysis.Analyzer{
+	atomicmix.Analyzer,
 	deferredmutation.Analyzer,
 	determinism.Analyzer,
+	goleak.Analyzer,
 	guardedfield.Analyzer,
+	httpdiscipline.Analyzer,
+	lockhold.Analyzer,
 	statecover.Analyzer,
+}
+
+// jsonReport is the -json document. Schema: dvelint/v1 (see the package
+// comment and internal/analysis/README.md).
+type jsonReport struct {
+	Schema   string        `json:"schema"`
+	Findings []jsonFinding `json:"findings"`
+	Count    jsonCount     `json:"count"`
+}
+
+type jsonFinding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Column        int    `json:"column"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type jsonCount struct {
+	Active     int `json:"active"`
+	Suppressed int `json:"suppressed"`
 }
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (dvelint/v1) instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dvelint [-checks list] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: dvelint [-checks list] [-json] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
 		}
@@ -87,20 +145,59 @@ func main() {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	diags, err := analysis.RunAll(pkgs, analyzers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		pos := d.Position
-		if rel, err := filepath.Rel(modDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+
+	active := 0
+	for i := range diags {
+		if rel, err := filepath.Rel(modDir, diags[i].Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Position.Filename = rel
 		}
-		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		if !diags[i].Suppressed {
+			active++
+		}
 	}
-	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "dvelint: %d finding(s)\n", n)
+
+	if *jsonOut {
+		writeJSON(diags, active)
+	} else {
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "dvelint: %d finding(s)\n", active)
 		os.Exit(1)
+	}
+}
+
+// writeJSON emits the dvelint/v1 document, suppressed findings included.
+func writeJSON(diags []analysis.Diagnostic, active int) {
+	report := jsonReport{
+		Schema:   "dvelint/v1",
+		Findings: []jsonFinding{}, // never null, even with zero findings
+		Count:    jsonCount{Active: active, Suppressed: len(diags) - active},
+	}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonFinding{
+			File:          d.Position.Filename,
+			Line:          d.Position.Line,
+			Column:        d.Position.Column,
+			Analyzer:      d.Analyzer,
+			Message:       d.Message,
+			Suppressed:    d.Suppressed,
+			Justification: d.Justification,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
 	}
 }
 

@@ -74,6 +74,11 @@ type Diagnostic struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	// Suppressed marks a finding covered by a //lint:ignore directive;
+	// Justification carries the directive's reason. Only RunAll returns
+	// suppressed findings — Run drops them.
+	Suppressed    bool
+	Justification string
 }
 
 // String formats the diagnostic the way the driver prints it.

@@ -1,12 +1,14 @@
 package analysis_test
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"dve/internal/analysis"
 	"dve/internal/analysis/determinism"
+	"dve/internal/analysis/statecover"
 )
 
 func loadTestPkg(t *testing.T, name string) *analysis.Package {
@@ -76,6 +78,122 @@ func TestSuppress(t *testing.T) {
 		if !strings.Contains(d.Message, "time.Now") {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
+	}
+}
+
+// TestLoaderErrors pins the loader's failure modes: each broken input must
+// produce a descriptive error, not a panic or a silent empty package.
+func TestLoaderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		want string // substring of the error
+	}{
+		{"missing package", "no-such-package", "cannot resolve package"},
+		{"parse error", "broken", "broken/a.go"},
+		{"type-check failure", "brokentypes", "type-checking brokentypes"},
+		{"no Go files", "empty", "no Go files in"},
+		{"import cycle", "cyclea", "import cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loader := analysis.NewLoader(filepath.Join("testdata", "src"), "")
+			_, err := loader.Load(tc.pkg)
+			if err == nil {
+				t.Fatalf("Load(%q) succeeded, want error containing %q", tc.pkg, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Load(%q) error = %q, want substring %q", tc.pkg, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunAnalyzerError checks that an analyzer's own error aborts the run
+// and propagates to the caller instead of being swallowed.
+func TestRunAnalyzerError(t *testing.T) {
+	pkg := loadTestPkg(t, "suppressed")
+	boom := errors.New("analyzer exploded")
+	failing := &analysis.Analyzer{
+		Name: "failing",
+		Doc:  "always errors",
+		Run:  func(*analysis.Pass) error { return boom },
+	}
+	if _, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{failing}); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if _, err := analysis.RunAll([]*analysis.Package{pkg}, []*analysis.Analyzer{failing}); !errors.Is(err, boom) {
+		t.Fatalf("RunAll error = %v, want %v", err, boom)
+	}
+}
+
+// TestRunAll checks the driver-facing view: suppressed findings come back
+// marked with their justification, a bare ignore is reported as
+// staleignore, and an ignore naming an in-run analyzer that reports
+// nothing is reported stale — but only when that analyzer is in the run.
+func TestRunAll(t *testing.T) {
+	pkg := loadTestPkg(t, "suppressed")
+
+	// statecover in the run set: the wrongAnalyzer directive is judged.
+	diags, err := analysis.RunAll(
+		[]*analysis.Package{pkg},
+		[]*analysis.Analyzer{determinism.Analyzer, statecover.Analyzer},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressed, active, stale []analysis.Diagnostic
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == analysis.StaleIgnoreName:
+			stale = append(stale, d)
+		case d.Suppressed:
+			suppressed = append(suppressed, d)
+		default:
+			active = append(active, d)
+		}
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("got %d suppressed findings, want 2 (above + inline):\n%v", len(suppressed), suppressed)
+	}
+	for _, d := range suppressed {
+		if d.Justification == "" {
+			t.Errorf("suppressed finding lost its justification: %s", d)
+		}
+	}
+	if len(active) != 2 {
+		t.Fatalf("got %d active findings, want 2 (bare ignore + wrong analyzer):\n%v", len(active), active)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("got %d staleignore findings, want 2 (bare directive + unmatched statecover):\n%v", len(stale), stale)
+	}
+	var sawBare, sawStale bool
+	for _, d := range stale {
+		if strings.Contains(d.Message, "no justification") {
+			sawBare = true
+		}
+		if strings.Contains(d.Message, "stale //lint:ignore statecover") {
+			sawStale = true
+		}
+	}
+	if !sawBare || !sawStale {
+		t.Fatalf("staleignore findings missing a case (bare=%v stale=%v):\n%v", sawBare, sawStale, stale)
+	}
+
+	// statecover absent: its directive's staleness is unknowable, so only
+	// the bare directive is reported.
+	diags, err = analysis.RunAll([]*analysis.Package{pkg}, []*analysis.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale = nil
+	for _, d := range diags {
+		if d.Analyzer == analysis.StaleIgnoreName {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "no justification") {
+		t.Fatalf("with statecover unselected, want only the bare-directive finding, got:\n%v", stale)
 	}
 }
 

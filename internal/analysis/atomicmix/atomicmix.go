@@ -1,0 +1,221 @@
+// Package atomicmix catches two ways a field's synchronisation discipline
+// silently degrades to "mostly":
+//
+// Mixed atomic/plain access. A field that is ever touched through
+// sync/atomic (atomic.AddUint64(&s.seq, 1), atomic.LoadInt64(&s.n), ...)
+// must be touched through sync/atomic everywhere: a plain read may observe
+// a torn or stale value, and a plain write races the atomic path outright.
+// The -race detector reports this only when a test interleaves the two
+// paths; the mix is detectable statically, so the analyzer flags every
+// plain access to a field that also appears as the pointer argument of a
+// sync/atomic call in the same package.
+//
+// Guarded-reference escape. A field annotated `// guarded by mu` (PR 2's
+// guardedfield contract) whose type is a reference — slice, map, pointer,
+// or channel — must not be returned directly from a method: the caller
+// receives an alias to the guarded structure after the method has unlocked,
+// so every later read through it is outside the lock even though the
+// returning method's own access was clean. guardedfield checks that the
+// access site holds the lock; this check closes the interprocedural hole
+// where the locked access hands the data out. Return a copy (or a derived
+// scalar) instead.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"dve/internal/analysis"
+)
+
+// Analyzer reports mixed atomic/plain field access and guarded-reference
+// escapes.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed via sync/atomic must be accessed atomically everywhere; " +
+		"a '// guarded by mu' slice/map/pointer/chan field must not be returned " +
+		"directly (the alias escapes the lock)",
+	Run: run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	checkAtomicMix(pass)
+	checkGuardedEscape(pass)
+	return nil
+}
+
+// atomicUse records how a field entered the atomic world, for diagnostics.
+type atomicUse struct {
+	fn  string // e.g. "atomic.AddUint64"
+	pos token.Pos
+}
+
+// checkAtomicMix flags plain accesses to fields that are elsewhere passed
+// by address into sync/atomic.
+func checkAtomicMix(pass *analysis.Pass) {
+	atomicFields := map[types.Object]atomicUse{}
+	// Selector expressions consumed by the atomic calls themselves: these
+	// are the sanctioned accesses and must not be re-flagged below.
+	sanctioned := map[*ast.SelectorExpr]bool{}
+
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				continue
+			}
+			obj := selection.Obj()
+			if _, seen := atomicFields[obj]; !seen {
+				atomicFields[obj] = atomicUse{fn: "atomic." + fn.Name(), pos: call.Pos()}
+			}
+			sanctioned[sel] = true
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		use, ok := atomicFields[selection.Obj()]
+		if !ok {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s is accessed with %s (line %d) but plainly here: mixing atomic and plain access races; use %s-family load/store everywhere",
+			types.ExprString(sel), use.fn, pass.Fset.Position(use.pos).Line, use.fn)
+		return true
+	})
+}
+
+// checkGuardedEscape flags `return s.guardedRefField` from methods: the
+// returned alias outlives the critical section.
+func checkGuardedEscape(pass *analysis.Pass) {
+	guarded := map[types.Object]string{}
+	pass.Inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			mu := guardAnnotation(field)
+			if mu == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.ObjectOf(name)
+				if obj != nil && isReferenceType(obj.Type()) {
+					guarded[obj] = mu
+				}
+			}
+		}
+		return true
+	})
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // a literal returns from its own frame, not this one
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					selection, ok := pass.TypesInfo.Selections[sel]
+					if !ok || selection.Kind() != types.FieldVal {
+						continue
+					}
+					mu, ok := guarded[selection.Obj()]
+					if !ok {
+						continue
+					}
+					pass.Reportf(res.Pos(),
+						"returning %s aliases a field guarded by %s beyond the critical section: the caller reads it after %s unlocks; return a copy instead",
+						types.ExprString(sel), mu, fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isReferenceType reports whether values of t alias shared storage when
+// copied: slices, maps, pointers, and channels. Value types (ints, structs
+// of values) are safe to return from under a lock.
+func isReferenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// guardAnnotation extracts the mutex name from the field's doc or line
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// calledFunc resolves the called function, or nil.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicmix.Analyzer, "atomicmix")
+}

@@ -16,3 +16,30 @@ func TestDeterminism(t *testing.T) {
 func TestTelemetryPackage(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "telemetry")
 }
+
+// TestWallClockExemptions pins the facet-level exemption set: exactly the
+// packages that legitimately touch the wall clock, each with a written
+// reason. Growing this set is an explicit, reviewed act — if this test
+// fails, either document the new package's reason here and in
+// WallClockExempt, or inject a clock instead.
+func TestWallClockExemptions(t *testing.T) {
+	want := []string{
+		"dve/internal/results",
+		"dve/internal/serve",
+		"dve/internal/stats",
+	}
+	if len(determinism.WallClockExempt) != len(want) {
+		t.Errorf("WallClockExempt has %d entries, want %d: %v",
+			len(determinism.WallClockExempt), len(want), determinism.WallClockExempt)
+	}
+	for _, path := range want {
+		reason, ok := determinism.WallClockExempt[path]
+		if !ok {
+			t.Errorf("WallClockExempt missing %s", path)
+			continue
+		}
+		if len(reason) < 20 {
+			t.Errorf("WallClockExempt[%s] reason too thin to justify the exemption: %q", path, reason)
+		}
+	}
+}

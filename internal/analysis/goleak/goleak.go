@@ -1,0 +1,230 @@
+// Package goleak flags goroutines spawned from methods of long-lived types
+// (Coordinator, Worker, Server, ...) that loop forever with no reachable
+// stop path. A fabric component that launches `go s.loop()` and offers its
+// goroutine no way to observe shutdown keeps running after Close/Stop/Drain
+// returns: it pins memory, keeps timers firing, and — the chaos harness's
+// favourite — keeps touching state the test has already torn down. The
+// -race detector only sees the leak when the zombie happens to collide with
+// something; this analyzer requires the stop path to exist structurally.
+//
+// A goroutine is a leak candidate when its body (or, for `go x.method()`,
+// the method's body, transitively through same-package calls) contains an
+// unbounded loop: `for { ... }` with no condition, or `for range ch` over a
+// channel. Bounded loops terminate on their own and are never flagged.
+//
+// A candidate is cleared by any of the recognised stop paths:
+//
+//   - context: the goroutine calls ctx.Done() or ctx.Err() on a
+//     context.Context (typically in a select or loop condition);
+//   - done channel: the goroutine receives from a channel object that some
+//     function in the package closes (close(s.tickStop) in Drain clears
+//     `case <-s.tickStop:` in the ticker goroutine);
+//   - WaitGroup join: the goroutine calls Done() on a sync.WaitGroup that
+//     some function in the package joins with Wait() — the goroutine's
+//     exit is then someone's shutdown barrier, and the loop's own exit
+//     condition (a closed queue, a drained channel) is trusted.
+//
+// Stop paths are searched transitively through same-package calls using
+// the interproc graph, so `go s.localWorker(i)` is cleared by the
+// `defer s.wg.Done()` inside localWorker plus the s.wg.Wait() in Drain.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dve/internal/analysis"
+	"dve/internal/analysis/interproc"
+)
+
+// Analyzer reports stop-path-less goroutines in long-lived types.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "a goroutine spawned from a method that loops forever needs a reachable " +
+		"stop path (context.Context, a closed done channel, or a WaitGroup some " +
+		"shutdown path joins); otherwise it outlives Close/Stop/Drain",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := interproc.Build(pass)
+	infos := make([]*interproc.FuncInfo, 0, len(g.Funcs))
+	for _, info := range g.Funcs {
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Decl.Pos() < infos[j].Decl.Pos() })
+	for _, info := range infos {
+		if info.Decl.Recv == nil {
+			continue // only methods of (long-lived) types are in scope
+		}
+		for _, sp := range info.Spawns {
+			checkSpawn(pass, g, info, sp)
+		}
+	}
+	return nil
+}
+
+func checkSpawn(pass *analysis.Pass, g *interproc.Graph, owner *interproc.FuncInfo, sp interproc.Spawn) {
+	c := &checker{pass: pass, g: g, seen: map[*types.Func]bool{}}
+	var body *ast.BlockStmt
+	what := "goroutine"
+	switch {
+	case sp.Body != nil:
+		body = sp.Body
+	case sp.Callee != nil:
+		info := g.Funcs[sp.Callee]
+		if info == nil {
+			return
+		}
+		body = info.Decl.Body
+		what = sp.Callee.Name() + " goroutine"
+		c.seen[sp.Callee] = true
+	default:
+		return // spawned callee outside the package: out of scope
+	}
+	c.walk(body)
+	if !c.unbounded || c.stopped {
+		return
+	}
+	recv := receiverTypeName(pass, owner.Decl)
+	pass.Reportf(sp.Stmt.Pos(),
+		"%s spawned in (%s).%s loops forever with no reachable stop path: give it a context, a done channel closed on shutdown, or join it with a WaitGroup that Close/Stop/Drain waits on",
+		what, recv, owner.Decl.Name.Name)
+}
+
+// checker accumulates the two verdicts over a goroutine body and the
+// same-package functions it calls.
+type checker struct {
+	pass *analysis.Pass
+	g    *interproc.Graph
+	seen map[*types.Func]bool
+
+	unbounded bool // contains `for {}` or range-over-channel
+	stopped   bool // observes a recognised stop signal
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if c.stopped {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested spawn is its own goroutine, checked at its own site
+		case *ast.ForStmt:
+			if x.Cond == nil {
+				c.unbounded = true
+			} else {
+				c.checkExprStop(x.Cond)
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					c.unbounded = true
+					// Ranging a closed channel terminates: that is itself
+					// the done-channel stop path.
+					if obj := interproc.RootObj(c.pass.TypesInfo, x.X); obj != nil && c.g.ClosedChans[obj] {
+						c.stopped = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if obj := interproc.RootObj(c.pass.TypesInfo, x.X); obj != nil && c.g.ClosedChans[obj] {
+					c.stopped = true
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCallStop(x)
+			if fn := calledFunc(c.pass.TypesInfo, x); fn != nil && fn.Pkg() == c.pass.Pkg && !c.seen[fn] {
+				c.seen[fn] = true
+				if info := c.g.Funcs[fn]; info != nil {
+					c.walk(info.Decl.Body)
+				}
+			}
+		}
+		return !c.stopped
+	})
+}
+
+// checkExprStop scans a loop condition for stop signals (ctx.Err() == nil).
+func (c *checker) checkExprStop(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.checkCallStop(call)
+		}
+		return !c.stopped
+	})
+}
+
+// checkCallStop marks the checker stopped on ctx.Done()/ctx.Err() and on
+// Done() of a package-joined WaitGroup.
+func (c *checker) checkCallStop(call *ast.CallExpr) {
+	fn := calledFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	switch fn.Name() {
+	case "Done", "Err":
+		if recvNamed(sig.Recv().Type(), "context", "Context") {
+			c.stopped = true
+			return
+		}
+	}
+	if fn.Name() == "Done" && recvNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := interproc.RootObj(c.pass.TypesInfo, sel.X); obj != nil && c.g.WaitedGroups[obj] {
+				c.stopped = true
+			}
+		}
+	}
+}
+
+// receiverTypeName returns the method's receiver type name for diagnostics.
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return types.ExprString(t)
+}
+
+// calledFunc resolves the called function or method, or nil.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// recvNamed reports whether t (or its pointee) is the named type pkg.name.
+func recvNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

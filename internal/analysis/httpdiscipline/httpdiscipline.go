@@ -1,0 +1,351 @@
+// Package httpdiscipline enforces the fabric's HTTP hygiene on both sides
+// of the wire. The coordinator/worker protocol survives chaos testing
+// because every RPC is cancellable and every response body is closed; this
+// analyzer makes those properties structural instead of reviewed-for.
+//
+// Outbound (clients):
+//
+//   - the package-level conveniences http.Get/Post/PostForm/Head are
+//     banned: they ride the shared http.DefaultClient, which has no
+//     timeout, so one wedged peer parks the goroutine forever;
+//   - http.NewRequest is banned in favour of http.NewRequestWithContext:
+//     an un-cancellable fabric RPC cannot be abandoned on drain;
+//   - http.Client.Get/Post/PostForm/Head methods are banned for the same
+//     reason — only a *http.Request built with a context can carry one;
+//   - a function that performs a round-trip (http.Client.Do or any
+//     Do(*http.Request) seam, like serve.Doer) must close the response
+//     body: it must mention Body.Close(), or hand the *http.Response to
+//     its caller (returning it transfers ownership).
+//
+// Inbound (handlers — any func with an (http.ResponseWriter, *http.Request)
+// signature):
+//
+//   - mutating the header map after WriteHeader is dead code: the headers
+//     are already on the wire (flagged positionally, like lockhold);
+//   - an error-checking branch (`if err != nil { ... return }`) must write
+//     a status before returning: a handler that returns silently on error
+//     sends an implicit 200 OK with an empty body, which a polling fabric
+//     client records as success.
+package httpdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dve/internal/analysis"
+)
+
+// Analyzer enforces outbound timeout/body-close and handler status
+// discipline for net/http.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpdiscipline",
+	Doc: "outbound HTTP must be cancellable (NewRequestWithContext, no default-" +
+		"client conveniences) and close response bodies; handlers must not mutate " +
+		"headers after WriteHeader and must write a status on error paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOutbound(pass, fd)
+			checkHandlers(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkOutbound applies the client-side rules to one declaration.
+func checkOutbound(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var roundTrips []*ast.CallExpr
+	closesBody := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			return true
+		}
+		if sig.Recv() == nil {
+			if fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			switch fn.Name() {
+			case "Get", "Post", "PostForm", "Head":
+				pass.Reportf(call.Pos(),
+					"http.%s uses the shared http.DefaultClient, which has no timeout: build the request with http.NewRequestWithContext and send it through a client you own",
+					fn.Name())
+			case "NewRequest":
+				pass.Reportf(call.Pos(),
+					"http.NewRequest builds an un-cancellable request: use http.NewRequestWithContext so the RPC can be abandoned on timeout or drain")
+			}
+			return true
+		}
+		// Methods: client round-trips and body closes.
+		switch {
+		case isHTTPClientMethod(fn, sig):
+			if fn.Name() != "Do" {
+				pass.Reportf(call.Pos(),
+					"http.Client.%s cannot carry a context: build the request with http.NewRequestWithContext and use Do",
+					fn.Name())
+			}
+			roundTrips = append(roundTrips, call)
+		case isDoerSeam(fn, sig):
+			roundTrips = append(roundTrips, call)
+		case fn.Name() == "Close" && isBodyClose(pass, call):
+			closesBody = true
+		}
+		return true
+	})
+	if len(roundTrips) == 0 || closesBody || returnsResponse(pass, fd) {
+		return
+	}
+	for _, call := range roundTrips {
+		pass.Reportf(call.Pos(),
+			"HTTP round-trip whose response body is never closed in this function: defer resp.Body.Close() (a leaked body pins the connection and starves the client's pool)")
+	}
+}
+
+// isHTTPClientMethod reports Do/Get/Post/PostForm/Head on *http.Client.
+func isHTTPClientMethod(fn *types.Func, sig *types.Signature) bool {
+	switch fn.Name() {
+	case "Do", "Get", "Post", "PostForm", "Head":
+	default:
+		return false
+	}
+	return recvNamed(sig.Recv().Type(), "net/http", "Client")
+}
+
+// isDoerSeam reports a method named Do taking exactly one *http.Request —
+// the interface seam the fabric (and its chaos transport) round-trips
+// through.
+func isDoerSeam(fn *types.Func, sig *types.Signature) bool {
+	return fn.Name() == "Do" && sig.Params().Len() == 1 &&
+		isPtrToNamed(sig.Params().At(0).Type(), "net/http", "Request")
+}
+
+// isBodyClose reports x.Body.Close() where Body is a field selection.
+func isBodyClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "Body"
+}
+
+// returnsResponse reports whether the function hands a *http.Response to
+// its caller, transferring body ownership.
+func returnsResponse(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, f := range fd.Type.Results.List {
+		if t := pass.TypesInfo.TypeOf(f.Type); t != nil && isPtrToNamed(t, "net/http", "Response") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHandlers applies the handler rules to the declaration and every
+// handler-shaped literal inside it.
+func checkHandlers(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if w := handlerWriter(pass, fd.Type); w != nil {
+		checkHandlerBody(pass, fd.Body, w)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if w := handlerWriter(pass, lit.Type); w != nil {
+			checkHandlerBody(pass, lit.Body, w)
+		}
+		return true
+	})
+}
+
+// handlerWriter returns the http.ResponseWriter parameter object of a
+// handler-shaped signature, or nil.
+func handlerWriter(pass *analysis.Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, f := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil || !recvNamed(t, "net/http", "ResponseWriter") {
+			continue
+		}
+		if len(f.Names) == 1 {
+			return pass.TypesInfo.ObjectOf(f.Names[0])
+		}
+	}
+	return nil
+}
+
+// checkHandlerBody enforces the two inbound rules for one handler.
+func checkHandlerBody(pass *analysis.Pass, body *ast.BlockStmt, w types.Object) {
+	// Positional WriteHeader fence: header mutations after the earliest
+	// WriteHeader on this writer are dead code. Write(...) implies
+	// WriteHeader too, but flagging only the explicit call keeps the rule
+	// exact on branchy handlers.
+	var firstWH token.Pos = token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "WriteHeader" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == w {
+			if firstWH == token.NoPos || call.Pos() < firstWH {
+				firstWH = call.Pos()
+			}
+		}
+		return true
+	})
+	if firstWH != token.NoPos {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Set", "Add", "Del":
+			default:
+				return true
+			}
+			// w.Header().Set(...): receiver is a call to Header() on w.
+			hdr, ok := sel.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			hsel, ok := hdr.Fun.(*ast.SelectorExpr)
+			if !ok || hsel.Sel.Name != "Header" {
+				return true
+			}
+			id, ok := hsel.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.ObjectOf(id) != w || call.Pos() <= firstWH {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"header mutated after WriteHeader (line %d): the headers are already on the wire, this %s is dead code",
+				pass.Fset.Position(firstWH).Line, sel.Sel.Name)
+			return true
+		})
+	}
+
+	// Error paths must write a status before returning.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !errorCondition(pass, ifs.Cond) {
+			return true
+		}
+		if len(ifs.Body.List) == 0 {
+			return true
+		}
+		ret, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 0 {
+			return true
+		}
+		if mentionsObj(pass, ifs, w) {
+			return true // something in the branch (or its condition) wrote through w
+		}
+		pass.Reportf(ret.Pos(),
+			"handler error path returns without writing a status: the client sees an implicit 200 OK; write http.Error (or an explicit status) before returning")
+		return true
+	})
+}
+
+// errorCondition reports whether the if condition compares an error-typed
+// operand against nil (err != nil and friends).
+func errorCondition(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+			return true
+		}
+		for _, e := range []ast.Expr{bin.X, bin.Y} {
+			t := pass.TypesInfo.TypeOf(e)
+			if t == nil {
+				continue
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObj reports whether the subtree references the object.
+func mentionsObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// calledFunc resolves the called function or method, or nil.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// recvNamed reports whether t (or its pointee) is the named type pkg.name.
+func recvNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isPtrToNamed reports whether t is *pkg.name.
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return recvNamed(p.Elem(), pkgPath, name)
+}

@@ -1,0 +1,12 @@
+package httpdiscipline_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/httpdiscipline"
+)
+
+func TestHTTPDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), httpdiscipline.Analyzer, "httpdiscipline")
+}

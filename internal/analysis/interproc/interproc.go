@@ -1,0 +1,446 @@
+// Package interproc is dvelint's shared interprocedural layer: a
+// per-package call graph plus function summaries that the concurrency
+// analyzers (lockhold, goleak, httpdiscipline, atomicmix) query instead of
+// re-deriving facts from the AST. One Build pass over a package answers:
+//
+//   - which functions contain a blocking operation (channel send/receive,
+//     select with no default, time.Sleep, sync.WaitGroup.Wait,
+//     sync.Cond.Wait, an HTTP round-trip, a net dial) — directly or
+//     through any chain of same-package calls;
+//   - which functions spawn goroutines, and what each goroutine runs;
+//   - which channel objects some function in the package closes, and
+//     which sync.WaitGroup objects some function joins with Wait() —
+//     the two facts goleak needs to recognise a reachable stop path.
+//
+// The graph is deliberately package-local. Cross-package calls resolve
+// only against a fixed model of the standard library's blocking surface
+// (time.Sleep, http.Client.Do, ...): the fabric's bug classes all live
+// inside one package (a coordinator holding its own lock across its own
+// blocking helper), and package-local resolution keeps Build a single
+// cheap AST walk with zero configuration.
+//
+// Like the rest of dvelint, summaries are flow-insensitive: a blocking
+// operation anywhere in a function marks the function blocking. Function
+// literals are inlined only where they demonstrably run in the enclosing
+// frame — immediately-invoked literals (func(){...}()) and plain deferred
+// calls — while literals that escape (assigned, passed as callbacks,
+// goroutine bodies) are excluded from the spawning function's summary, so
+// "this helper blocks" never leaks in from a closure that runs elsewhere.
+package interproc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dve/internal/analysis"
+)
+
+// Kind classifies a blocking operation.
+type Kind int
+
+const (
+	// KindChanSend is a channel send statement.
+	KindChanSend Kind = iota
+	// KindChanRecv is a channel receive (including range-over-channel).
+	KindChanRecv
+	// KindSelect is a select statement with no default clause.
+	KindSelect
+	// KindSleep is time.Sleep.
+	KindSleep
+	// KindWaitGroupWait is (*sync.WaitGroup).Wait.
+	KindWaitGroupWait
+	// KindCondWait is (*sync.Cond).Wait. Lockhold exempts it when direct:
+	// Wait atomically releases the condition's own lock, so waiting under
+	// that lock is the intended pattern, not a stall.
+	KindCondWait
+	// KindHTTPRoundTrip is an outbound HTTP request: http.Client methods,
+	// the package-level convenience functions, or any Do(*http.Request)
+	// seam such as the fabric's serve.Doer.
+	KindHTTPRoundTrip
+	// KindNetDial is a net.Dial/Listen class call.
+	KindNetDial
+)
+
+// Op is one blocking operation.
+type Op struct {
+	Pos  token.Pos
+	What string // human-readable, e.g. "channel send", "time.Sleep"
+	Kind Kind
+}
+
+// CallSite is one same-package call edge, positioned so region-scoped
+// analyzers (lockhold) can tell whether the call happens inside a critical
+// section.
+type CallSite struct {
+	Fn  *types.Func
+	Pos token.Pos
+}
+
+// Spawn is one go statement together with what it runs: Body for a
+// goroutine literal, Callee for `go x.method(...)` resolved within the
+// package (nil otherwise).
+type Spawn struct {
+	Stmt   *ast.GoStmt
+	Body   *ast.BlockStmt
+	Callee *types.Func
+}
+
+// FuncInfo summarises one function or method declaration.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+
+	// Direct lists blocking operations executed in this function's own
+	// frame (escaping literals excluded — see the package comment).
+	Direct []Op
+	// Calls lists same-package callees, in source order.
+	Calls []CallSite
+	// Spawns lists go statements launched from this frame.
+	Spawns []Spawn
+}
+
+// Graph is the per-package summary store. Build once per pass; queries are
+// memoised.
+type Graph struct {
+	Pass  *analysis.Pass
+	Funcs map[*types.Func]*FuncInfo
+
+	// ClosedChans holds channel-valued objects (struct fields or
+	// variables) that some function in the package closes: receiving from
+	// one of these is a recognisable stop signal.
+	ClosedChans map[types.Object]bool
+	// WaitedGroups holds sync.WaitGroup objects joined by a Wait() call
+	// somewhere in the package: a goroutine that Done()s one of these has
+	// a join point some shutdown path is waiting on.
+	WaitedGroups map[types.Object]bool
+
+	blocking map[*types.Func]*blockAnswer
+}
+
+// blockAnswer memoises one transitive-blocking query. chain is the call
+// path from the queried function down to the one holding the operation
+// (empty when the operation is direct).
+type blockAnswer struct {
+	op     Op
+	chain  []*types.Func
+	blocks bool
+}
+
+// Build walks every file of the pass once and assembles the package graph.
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		Pass:         pass,
+		Funcs:        map[*types.Func]*FuncInfo{},
+		ClosedChans:  map[types.Object]bool{},
+		WaitedGroups: map[types.Object]bool{},
+		blocking:     map[*types.Func]*blockAnswer{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+			if obj == nil {
+				continue
+			}
+			info := &FuncInfo{Decl: fd, Obj: obj}
+			g.scan(fd.Body, info)
+			g.Funcs[obj] = info
+		}
+	}
+	return g
+}
+
+// scan walks one frame's statements into info, inlining only literals that
+// run in this frame and recording package-global close/Wait facts.
+func (g *Graph) scan(n ast.Node, info *FuncInfo) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			info.Spawns = append(info.Spawns, g.spawnOf(x))
+			// The goroutine runs concurrently, not in this frame; its own
+			// channel-close / Wait facts still count package-wide.
+			g.scanGlobalFacts(x.Call)
+			return false
+		case *ast.FuncLit:
+			// Reached only when the literal escapes (IIFE and deferred
+			// bodies are dispatched below before descending here).
+			g.scanGlobalFacts(x.Body)
+			return false
+		case *ast.DeferStmt:
+			// A deferred call runs in this frame at return; record it at
+			// the defer's position. A deferred literal's body is inlined.
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				g.scan(lit.Body, info)
+				return false
+			}
+			g.visitCall(x.Call, info)
+			return false
+		case *ast.CallExpr:
+			if lit, ok := x.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal: runs here, inline it. The
+				// arguments are ordinary expressions of this frame.
+				for _, arg := range x.Args {
+					g.scan(arg, info)
+				}
+				g.scan(lit.Body, info)
+				return false
+			}
+			g.visitCall(x, info)
+			return true
+		case *ast.SendStmt:
+			info.Direct = append(info.Direct, Op{Pos: x.Pos(), What: "channel send", Kind: KindChanSend})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				info.Direct = append(info.Direct, Op{Pos: x.Pos(), What: "channel receive", Kind: KindChanRecv})
+			}
+		case *ast.RangeStmt:
+			if t := g.Pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					info.Direct = append(info.Direct, Op{Pos: x.Pos(), What: "range over channel", Kind: KindChanRecv})
+				}
+			}
+		case *ast.SelectStmt:
+			if blockingSelect(x) {
+				info.Direct = append(info.Direct, Op{Pos: x.Pos(), What: "select with no default", Kind: KindSelect})
+			}
+			// Walk only the clause bodies: the comm statements' channel
+			// operations are part of the select, already reported above.
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						g.scan(s, info)
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// spawnOf resolves what a go statement runs.
+func (g *Graph) spawnOf(stmt *ast.GoStmt) Spawn {
+	s := Spawn{Stmt: stmt}
+	if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+		s.Body = lit.Body
+		return s
+	}
+	if fn := calledFunc(g.Pass.TypesInfo, stmt.Call); fn != nil && fn.Pkg() == g.Pass.Pkg {
+		s.Callee = fn
+	}
+	return s
+}
+
+// visitCall records one call: a blocking stdlib operation, a same-package
+// edge, or a package-global close/Wait fact.
+func (g *Graph) visitCall(call *ast.CallExpr, info *FuncInfo) {
+	g.scanGlobalFactsCall(call)
+	if op, ok := classifyBlockingCall(g.Pass.TypesInfo, call); ok {
+		info.Direct = append(info.Direct, op)
+		return
+	}
+	fn := calledFunc(g.Pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() == g.Pass.Pkg {
+		info.Calls = append(info.Calls, CallSite{Fn: fn, Pos: call.Pos()})
+	}
+}
+
+// scanGlobalFacts walks an escaping subtree recording only the facts that
+// hold package-wide regardless of which frame executes them.
+func (g *Graph) scanGlobalFacts(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			g.scanGlobalFactsCall(call)
+		}
+		return true
+	})
+}
+
+// scanGlobalFactsCall records close(ch) and wg.Wait() facts.
+func (g *Graph) scanGlobalFactsCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := g.Pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+			if obj := RootObj(g.Pass.TypesInfo, call.Args[0]); obj != nil {
+				g.ClosedChans[obj] = true
+			}
+		}
+		return
+	}
+	if fn := calledFunc(g.Pass.TypesInfo, call); fn != nil && fn.Name() == "Wait" && isSyncMethod(fn, "WaitGroup") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := RootObjSelector(g.Pass.TypesInfo, sel.X); obj != nil {
+				g.WaitedGroups[obj] = true
+			}
+		}
+	}
+}
+
+// Blocking reports whether fn (a function of this package) may block,
+// directly or through same-package calls. chain lists the call path down
+// to the function holding the operation; empty means fn blocks directly.
+func (g *Graph) Blocking(fn *types.Func) (op Op, chain []*types.Func, blocks bool) {
+	if a, ok := g.blocking[fn]; ok {
+		return a.op, a.chain, a.blocks
+	}
+	// Seed the memo with "does not block" so cycles terminate; overwrite
+	// below once the real answer is known.
+	g.blocking[fn] = &blockAnswer{}
+	info := g.Funcs[fn]
+	if info == nil {
+		return Op{}, nil, false
+	}
+	if len(info.Direct) > 0 {
+		a := &blockAnswer{op: info.Direct[0], blocks: true}
+		g.blocking[fn] = a
+		return a.op, nil, true
+	}
+	for _, cs := range info.Calls {
+		if cop, cchain, cblocks := g.Blocking(cs.Fn); cblocks {
+			a := &blockAnswer{op: cop, chain: append([]*types.Func{cs.Fn}, cchain...), blocks: true}
+			g.blocking[fn] = a
+			return a.op, a.chain, true
+		}
+	}
+	return Op{}, nil, false
+}
+
+// blockingSelect reports whether the select has no default clause.
+func blockingSelect(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyBlockingCall matches the fixed model of blocking callees.
+func classifyBlockingCall(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	fn := calledFunc(info, call)
+	if fn == nil {
+		return Op{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return Op{}, false
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg() == nil {
+			return Op{}, false
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Sleep" {
+				return Op{Pos: call.Pos(), What: "time.Sleep", Kind: KindSleep}, true
+			}
+		case "net/http":
+			switch fn.Name() {
+			case "Get", "Post", "PostForm", "Head":
+				return Op{Pos: call.Pos(), What: "http." + fn.Name(), Kind: KindHTTPRoundTrip}, true
+			}
+		case "net":
+			switch fn.Name() {
+			case "Dial", "DialTimeout", "Listen", "ListenPacket":
+				return Op{Pos: call.Pos(), What: "net." + fn.Name(), Kind: KindNetDial}, true
+			}
+		}
+		return Op{}, false
+	}
+	switch fn.Name() {
+	case "Wait":
+		if isSyncMethod(fn, "WaitGroup") {
+			return Op{Pos: call.Pos(), What: "sync.WaitGroup.Wait", Kind: KindWaitGroupWait}, true
+		}
+		if isSyncMethod(fn, "Cond") {
+			return Op{Pos: call.Pos(), What: "sync.Cond.Wait", Kind: KindCondWait}, true
+		}
+	case "Do", "Get", "Post", "PostForm", "Head":
+		if recvNamed(sig.Recv().Type(), "net/http", "Client") {
+			return Op{Pos: call.Pos(), What: "http.Client." + fn.Name(), Kind: KindHTTPRoundTrip}, true
+		}
+		// The Doer seam: any method named Do taking a *http.Request is an
+		// HTTP round-trip even behind an interface (serve.Doer in tests
+		// and chaos transports included).
+		if fn.Name() == "Do" && sig.Params().Len() == 1 &&
+			isPtrToNamed(sig.Params().At(0).Type(), "net/http", "Request") {
+			return Op{Pos: call.Pos(), What: "Do(*http.Request) round-trip", Kind: KindHTTPRoundTrip}, true
+		}
+	}
+	return Op{}, false
+}
+
+// isSyncMethod reports whether fn is a method of sync.<name>.
+func isSyncMethod(fn *types.Func, name string) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return recvNamed(sig.Recv().Type(), "sync", name)
+}
+
+// recvNamed reports whether t (or its pointee) is the named type pkg.name,
+// matching by package path with a bare-name fallback for the GOPATH-style
+// testdata stubs.
+func recvNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isPtrToNamed reports whether t is *pkg.name.
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return recvNamed(p.Elem(), pkgPath, name)
+}
+
+// calledFunc resolves the called package-level function or method, or nil.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// RootObj resolves the object at the base of a selector expression: for
+// s.tickStop it returns the tickStop field object (stable across every
+// mention of the field), for a plain identifier its variable object.
+func RootObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.ObjectOf(x.Sel)
+	case *ast.ParenExpr:
+		return RootObj(info, x.X)
+	}
+	return nil
+}
+
+// RootObjSelector is RootObj for a method receiver expression: s.wg.Wait()
+// passes s.wg here and resolves to the wg field object.
+func RootObjSelector(info *types.Info, e ast.Expr) types.Object {
+	return RootObj(info, e)
+}

@@ -1,0 +1,113 @@
+package interproc_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"dve/internal/analysis"
+	"dve/internal/analysis/interproc"
+)
+
+// load builds the interproc graph over the lockhold golden package, which
+// exercises direct ops, call chains, spawns, and escaping literals.
+func load(t *testing.T, pkgPath string) (*analysis.Pass, *interproc.Graph) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader(root, "").Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	var g *interproc.Graph
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "captures the interproc graph for inspection",
+		Run: func(pass *analysis.Pass) error {
+			g = interproc.Build(pass)
+			return nil
+		},
+	}
+	if _, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{probe}); err != nil {
+		t.Fatalf("building graph: %v", err)
+	}
+	pass := g.Pass
+	return pass, g
+}
+
+// fn finds a function summary by name.
+func fn(t *testing.T, g *interproc.Graph, name string) (*types.Func, *interproc.FuncInfo) {
+	t.Helper()
+	for obj, info := range g.Funcs {
+		if obj.Name() == name {
+			return obj, info
+		}
+	}
+	t.Fatalf("no function %q in graph", name)
+	return nil, nil
+}
+
+func TestBlockingTransitive(t *testing.T) {
+	_, g := load(t, "lockhold")
+
+	// flush blocks directly on a channel send.
+	flush, _ := fn(t, g, "flush")
+	op, chain, blocks := g.Blocking(flush)
+	if !blocks || op.Kind != interproc.KindChanSend || len(chain) != 0 {
+		t.Fatalf("flush: got op=%+v chain=%v blocks=%v, want direct channel send", op, chain, blocks)
+	}
+
+	// blockingHelper blocks through flush: chain of length 1.
+	helper, _ := fn(t, g, "blockingHelper")
+	op, chain, blocks = g.Blocking(helper)
+	if !blocks || op.Kind != interproc.KindChanSend {
+		t.Fatalf("blockingHelper: got op=%+v blocks=%v, want channel send via flush", op, blocks)
+	}
+	if len(chain) != 1 || chain[0].Name() != "flush" {
+		t.Fatalf("blockingHelper chain = %v, want [flush]", chain)
+	}
+
+	// Memoised second query agrees.
+	if _, _, again := g.Blocking(helper); !again {
+		t.Fatal("memoised Blocking(blockingHelper) flipped to false")
+	}
+}
+
+func TestEscapingLiteralNotCharged(t *testing.T) {
+	_, g := load(t, "lockhold")
+	// spawnUnderLock's only blocking op lives in a goroutine body; the
+	// spawning frame must stay non-blocking but record the spawn.
+	obj, info := fn(t, g, "spawnUnderLock")
+	if _, _, blocks := g.Blocking(obj); blocks {
+		t.Fatal("spawnUnderLock charged with its goroutine's sleep")
+	}
+	if len(info.Spawns) != 1 || info.Spawns[0].Body == nil {
+		t.Fatalf("spawnUnderLock spawns = %+v, want one literal spawn", info.Spawns)
+	}
+}
+
+func TestGlobalFacts(t *testing.T) {
+	_, g := load(t, "goleak")
+	// Stop closes w.done; Drain waits w.wg. Both must be package facts.
+	foundChan, foundWG := false, false
+	for obj := range g.ClosedChans {
+		if obj.Name() == "done" {
+			foundChan = true
+		}
+	}
+	for obj := range g.WaitedGroups {
+		if obj.Name() == "wg" {
+			foundWG = true
+		}
+	}
+	if !foundChan || !foundWG {
+		t.Fatalf("global facts: ClosedChans has done=%v, WaitedGroups has wg=%v", foundChan, foundWG)
+	}
+	// spin is spawned by name: the spawn must resolve the callee.
+	_, info := fn(t, g, "startMethodLeak")
+	if len(info.Spawns) != 1 || info.Spawns[0].Callee == nil || info.Spawns[0].Callee.Name() != "spin" {
+		t.Fatalf("startMethodLeak spawns = %+v, want resolved callee spin", info.Spawns)
+	}
+}

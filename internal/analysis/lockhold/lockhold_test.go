@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"dve/internal/analysis/analysistest"
+	"dve/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockhold.Analyzer, "lockhold")
+}

@@ -1,16 +1,58 @@
 package analysis
 
 import (
+	"fmt"
+	"go/token"
 	"sort"
 	"strings"
 )
 
-// Run executes every analyzer over every package and returns the combined
-// findings sorted by file position, with //lint:ignore suppressions already
-// applied.
+// StaleIgnoreName is the pseudo-analyzer under which RunAll reports
+// //lint:ignore directives that suppress nothing. Stale-ignore findings are
+// deliberately not themselves suppressible — the fix is always deleting or
+// repairing the directive, never ignoring the ignore.
+const StaleIgnoreName = "staleignore"
+
+// Run executes every analyzer over every package and returns the active
+// findings sorted by file position: //lint:ignore suppressions are applied
+// and stale-ignore bookkeeping is dropped. This is the view the golden
+// tests (analysistest) consume; the driver uses RunAll to also see what was
+// suppressed and which directives have rotted.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var kept []Diagnostic
+	for _, d := range all {
+		if !d.Suppressed && d.Analyzer != StaleIgnoreName {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll executes every analyzer over every package and returns the
+// complete record sorted by file position:
+//
+//   - active findings, unmarked;
+//   - suppressed findings, marked Suppressed with the directive's
+//     justification carried along (for -json consumers);
+//   - one StaleIgnoreName finding per //lint:ignore directive that
+//     suppressed nothing — either it has no justification (and so never
+//     suppresses, by contract), or it names an analyzer in this run that
+//     reported nothing on its lines (code fixed, analyzer renamed).
+//
+// Staleness is only judged for analyzer names in this run's set: a
+// directive for an unselected analyzer is skipped, not declared stale.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
+		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -20,14 +62,71 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo: pkg.Info,
 				Path:      pkg.Path,
 			}
-			var diags []Diagnostic
-			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			pass.report = func(d Diagnostic) { raw = append(raw, d) }
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}
-			out = append(out, Suppress(pkg, diags)...)
+		}
+
+		dirs := collectDirectives(pkg)
+		type cover struct {
+			file string
+			line int
+		}
+		covering := map[cover][]*directive{}
+		for _, dir := range dirs {
+			if dir.bare {
+				continue
+			}
+			// The directive covers its own line and the next one, so it
+			// works both inline and as a standalone line above.
+			covering[cover{dir.file, dir.line}] = append(covering[cover{dir.file, dir.line}], dir)
+			covering[cover{dir.file, dir.line + 1}] = append(covering[cover{dir.file, dir.line + 1}], dir)
+		}
+		for i := range raw {
+			d := &raw[i]
+			for _, dir := range covering[cover{d.Position.Filename, d.Position.Line}] {
+				for _, name := range dir.names {
+					if name == d.Analyzer {
+						d.Suppressed = true
+						d.Justification = dir.justification
+						dir.matched[name] = true
+					}
+				}
+			}
+		}
+		out = append(out, raw...)
+
+		for _, dir := range dirs {
+			if dir.bare {
+				out = append(out, Diagnostic{
+					Analyzer: StaleIgnoreName,
+					Position: dir.pos,
+					Message: fmt.Sprintf(
+						"//lint:ignore %s has no justification, so it suppresses nothing: add the reason after the analyzer name, or delete the comment",
+						strings.Join(dir.names, ",")),
+				})
+				continue
+			}
+			for _, name := range dir.names {
+				if known[name] && !dir.matched[name] {
+					out = append(out, Diagnostic{
+						Analyzer: StaleIgnoreName,
+						Position: dir.pos,
+						Message: fmt.Sprintf(
+							"stale //lint:ignore %s: no %s diagnostic is reported here anymore (code fixed or analyzer renamed); delete the directive",
+							name, name),
+					})
+				}
+			}
 		}
 	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer.
+func sortDiagnostics(out []Diagnostic) {
 	sort.SliceStable(out, func(i, j int) bool {
 		pi, pj := out[i].Position, out[j].Position
 		if pi.Filename != pj.Filename {
@@ -41,23 +140,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
 }
 
-// Suppress drops diagnostics covered by a suppression comment of the form
+// directive is one parsed suppression comment of the form
 //
-//	//lint:ignore <analyzer> <justification>
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
 //
-// placed either on the same line as the finding or on the line directly
-// above it. <analyzer> may be a comma-separated list. The justification is
-// mandatory: an ignore comment without one does not suppress anything, so
-// every suppression in the tree documents why the finding is acceptable.
-func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	if len(diags) == 0 {
-		return diags
-	}
-	// ignores maps file -> line -> analyzer names suppressed at that line.
-	ignores := map[string]map[int][]string{}
+// The justification is mandatory: an ignore without one does not suppress
+// anything (bare is set instead), so every suppression in the tree
+// documents why the finding is acceptable.
+type directive struct {
+	file          string
+	line          int // the comment's own line; it also covers line+1
+	pos           token.Position
+	names         []string
+	justification string
+	bare          bool            // no justification: suppresses nothing
+	matched       map[string]bool // analyzer names that actually suppressed a finding
+}
+
+// collectDirectives parses every //lint:ignore comment in the package.
+func collectDirectives(pkg *Package) []*directive {
+	var out []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -65,39 +169,27 @@ func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 				if !strings.HasPrefix(text, "lint:ignore ") {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
-				if len(fields) < 2 {
-					continue // no justification: not a valid suppression
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore "))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				m := ignores[pos.Filename]
-				if m == nil {
-					m = map[int][]string{}
-					ignores[pos.Filename] = m
+				dir := &directive{
+					file:    pos.Filename,
+					line:    pos.Line,
+					pos:     pos,
+					names:   strings.Split(fields[0], ","),
+					matched: map[string]bool{},
 				}
-				// The comment covers its own line and the next one, so it
-				// works both inline and as a standalone line above.
-				names := strings.Split(fields[0], ",")
-				m[pos.Line] = append(m[pos.Line], names...)
-				m[pos.Line+1] = append(m[pos.Line+1], names...)
+				if len(fields) < 2 {
+					dir.bare = true
+				} else {
+					dir.justification = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				out = append(out, dir)
 			}
 		}
 	}
-	if len(ignores) == 0 {
-		return diags
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		suppressed := false
-		for _, name := range ignores[d.Position.Filename][d.Position.Line] {
-			if name == d.Analyzer {
-				suppressed = true
-				break
-			}
-		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
-	}
-	return kept
+	return out
 }

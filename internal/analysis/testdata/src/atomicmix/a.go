@@ -1,0 +1,65 @@
+// Package atomicmix seeds mixed atomic/plain field access and
+// guarded-reference escapes.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits uint64
+	// peers is the live peer set.
+	peers map[string]int // guarded by mu
+	names []string       // guarded by mu
+	limit int            // guarded by mu
+}
+
+// bump is the atomic path.
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// read mixes in a plain load: may observe a torn or stale value.
+func (c *counter) read() uint64 {
+	return c.hits // want `c\.hits is accessed with atomic\.AddUint64 \(line \d+\) but plainly here`
+}
+
+// write mixes in a plain store: races the atomic adder outright.
+func (c *counter) write(v uint64) {
+	c.hits = v // want `c\.hits is accessed with atomic\.AddUint64 \(line \d+\) but plainly here`
+}
+
+// readAtomic stays on the atomic path: fine.
+func (c *counter) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// escapeMap returns a guarded map: the alias outlives the critical section.
+func (c *counter) escapeMap() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peers // want `returning c\.peers aliases a field guarded by mu`
+}
+
+// escapeSlice returns a guarded slice: same hole, slice flavour.
+func (c *counter) escapeSlice() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.names // want `returning c\.names aliases a field guarded by mu`
+}
+
+// snapshot returns a copy: the caller gets its own storage.
+func (c *counter) snapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.names...)
+}
+
+// limitVal returns a guarded value type: the copy is safe.
+func (c *counter) limitVal() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
+}

@@ -1,0 +1,5 @@
+// Package broken fails to parse: the loader's parse-error path must
+// surface the syntax error with its position instead of panicking.
+package broken
+
+func f( {

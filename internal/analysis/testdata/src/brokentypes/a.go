@@ -1,0 +1,8 @@
+// Package brokentypes parses but does not type-check: the loader must
+// wrap the type error with the package path.
+package brokentypes
+
+func f() int {
+	var s string
+	return s + 1
+}

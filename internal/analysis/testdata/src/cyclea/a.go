@@ -1,0 +1,7 @@
+// Package cyclea imports cycleb, which imports cyclea back: the loader
+// must report the cycle instead of recursing forever.
+package cyclea
+
+import "cycleb"
+
+var V = cycleb.V

@@ -1,0 +1,6 @@
+// Package cycleb closes the import cycle with cyclea.
+package cycleb
+
+import "cyclea"
+
+var V = cyclea.V

@@ -1,0 +1,138 @@
+// Package goleak seeds goroutine-leak shapes: unbounded loops spawned from
+// methods, with and without each recognised stop path (context, closed done
+// channel, joined WaitGroup).
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg     sync.WaitGroup
+	done   chan struct{}
+	feed   chan int
+	events chan int
+	jobs   chan int
+}
+
+// startLeaky spawns a forever-loop nothing can stop.
+func (w *worker) startLeaky() {
+	go func() { // want `goroutine spawned in \(worker\)\.startLeaky loops forever with no reachable stop path`
+		for {
+			w.step()
+		}
+	}()
+}
+
+func (w *worker) step() {}
+
+// startMethodLeak leaks through a named method body.
+func (w *worker) startMethodLeak() {
+	go w.spin() // want `spin goroutine spawned in \(worker\)\.startMethodLeak loops forever with no reachable stop path`
+}
+
+func (w *worker) spin() {
+	for {
+		w.step()
+	}
+}
+
+// startCtx is cleared by the context stop path.
+func (w *worker) startCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// startCtxCond is cleared by a ctx.Err() loop condition.
+func (w *worker) startCtxCond(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			w.step()
+		}
+	}()
+}
+
+// startDone is cleared by the done channel Stop closes.
+func (w *worker) startDone() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Stop closes the done channel, unblocking startDone's goroutine.
+func (w *worker) Stop() {
+	close(w.done)
+}
+
+// startJoined is cleared by the WaitGroup Drain joins.
+func (w *worker) startJoined() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	defer w.wg.Done()
+	for j := range w.jobs {
+		_ = j
+	}
+}
+
+// Drain joins the worker goroutine.
+func (w *worker) Drain() {
+	w.wg.Wait()
+}
+
+// startRangeLeak ranges a channel nobody closes and joins nothing.
+func (w *worker) startRangeLeak() {
+	go func() { // want `goroutine spawned in \(worker\)\.startRangeLeak loops forever with no reachable stop path`
+		for e := range w.events {
+			_ = e
+		}
+	}()
+}
+
+// startRangeClosed ranges a channel closeFeed closes: the range terminates.
+func (w *worker) startRangeClosed() {
+	go func() {
+		for e := range w.feed {
+			_ = e
+		}
+	}()
+}
+
+func (w *worker) closeFeed() {
+	close(w.feed)
+}
+
+// startBounded's loop terminates on its own: never a candidate.
+func (w *worker) startBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			w.step()
+		}
+	}()
+}
+
+// runForever is a plain function: long-lived-type methods only.
+func runForever() {
+	go func() {
+		for {
+		}
+	}()
+}

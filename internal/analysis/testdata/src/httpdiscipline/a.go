@@ -1,0 +1,104 @@
+// Package httpdiscipline seeds outbound-RPC and handler hygiene shapes:
+// default-client conveniences, un-cancellable requests, leaked response
+// bodies, post-WriteHeader header mutation, and silent handler error paths.
+package httpdiscipline
+
+import (
+	"errors"
+	"net/http"
+)
+
+// fetchDefault rides the shared default client: no timeout, no context.
+func fetchDefault(url string) {
+	resp, _ := http.Get(url) // want `http\.Get uses the shared http\.DefaultClient`
+	_ = resp
+}
+
+// buildUncancellable cannot be abandoned on drain.
+func buildUncancellable(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http\.NewRequest builds an un-cancellable request`
+}
+
+// clientGet uses a method convenience that cannot carry a context.
+func clientGet(c *http.Client, url string) (*http.Response, error) {
+	return c.Get(url) // want `http\.Client\.Get cannot carry a context`
+}
+
+// doLeaky round-trips and drops the body on the floor.
+func doLeaky(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want `HTTP round-trip whose response body is never closed`
+	if err != nil {
+		return err
+	}
+	_ = resp.StatusCode
+	return nil
+}
+
+// doClosed closes the body: fine.
+func doClosed(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// doReturned hands the response to the caller: ownership transfers.
+func doReturned(c *http.Client, req *http.Request) (*http.Response, error) {
+	return c.Do(req)
+}
+
+// doer is the fabric's transport seam: Do on an interface still round-trips.
+type doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// seamLeaky leaks the body through the interface seam.
+func seamLeaky(d doer, req *http.Request) {
+	resp, _ := d.Do(req) // want `HTTP round-trip whose response body is never closed`
+	_ = resp
+}
+
+// handleLate mutates a header after the status line is on the wire.
+func handleLate(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Header().Set("X-Trace", "1") // want `header mutated after WriteHeader`
+}
+
+// handleEarly sets headers before writing: fine.
+func handleEarly(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Trace", "1")
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleSilent returns on error with no status: an implicit 200 OK.
+func handleSilent(w http.ResponseWriter, r *http.Request) {
+	if err := validate(r); err != nil {
+		return // want `handler error path returns without writing a status`
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleErrored writes a status on the error path: fine.
+func handleErrored(w http.ResponseWriter, r *http.Request) {
+	if err := validate(r); err != nil {
+		http.Error(w, "bad request", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// registerLiteral exercises handler-shaped literals.
+func registerLiteral() {
+	handle(func(w http.ResponseWriter, r *http.Request) {
+		if err := validate(r); err != nil {
+			return // want `handler error path returns without writing a status`
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func handle(h func(http.ResponseWriter, *http.Request)) {}
+
+func validate(r *http.Request) error { return errors.New("bad") }

@@ -1,0 +1,106 @@
+// Package lockhold seeds mutex-held-across-blocking-operation shapes, both
+// direct (sleep, channel op, select) and interprocedural (a call chain that
+// bottoms out in a channel send).
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+}
+
+// sleepUnderLock parks with the mutex held.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s\.mu is held across time\.Sleep`
+	s.mu.Unlock()
+}
+
+// sleepAfterUnlock releases before parking: fine.
+func (s *server) sleepAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// deferredUnlock's region runs to the end of the function.
+func (s *server) deferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `s\.mu is held across channel receive`
+}
+
+// sendUnderRLock blocks readers and writers alike until the send lands.
+func (s *server) sendUnderRLock(v int) {
+	s.rw.RLock()
+	s.ch <- v // want `s\.rw is held across channel send`
+	s.rw.RUnlock()
+}
+
+// selectUnderLock parks on a default-less select.
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `s\.mu is held across select with no default`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// nonBlockingSelect has a default clause: it cannot park.
+func (s *server) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// waitCond is the intended sync.Cond pattern: Wait releases the lock.
+func (s *server) waitCond() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ch) == 0 {
+		s.cond.Wait()
+	}
+}
+
+// blockingHelper blocks only transitively, through flush.
+func (s *server) blockingHelper() {
+	s.flush()
+}
+
+func (s *server) flush() {
+	s.ch <- 1
+}
+
+// callsBlockingUnderLock holds the mutex across the whole chain.
+func (s *server) callsBlockingUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockingHelper() // want `s\.mu is held across a call to blockingHelper, which blocks on channel send \(via blockingHelper -> flush\)`
+}
+
+// callsHelperAfterUnlock releases first: fine.
+func (s *server) callsHelperAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.blockingHelper()
+}
+
+// spawnUnderLock launches a goroutine: the new frame does not hold mu.
+func (s *server) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}

@@ -1,0 +1,83 @@
+// Package http is a minimal stub of net/http for the analyzer golden
+// tests. The GOPATH-style loader resolves the import path "net/http" here
+// (tier 2 wins over the source importer), so the stub's types carry the
+// real package path and the analyzers' path-based matching works without
+// type-checking the real net/http from GOROOT source on every test run.
+package http
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// Header is the stub of net/http.Header.
+type Header map[string][]string
+
+func (h Header) Set(key, value string) {}
+func (h Header) Add(key, value string) {}
+func (h Header) Del(key string)        {}
+func (h Header) Get(key string) string { return "" }
+
+// Request is the stub of net/http.Request.
+type Request struct {
+	Method string
+	URL    string
+}
+
+// Response is the stub of net/http.Response.
+type Response struct {
+	StatusCode int
+	Header     Header
+	Body       io.ReadCloser
+}
+
+// Client is the stub of net/http.Client.
+type Client struct{}
+
+func (c *Client) Do(req *Request) (*Response, error)  { return nil, errStub }
+func (c *Client) Get(url string) (*Response, error)   { return nil, errStub }
+func (c *Client) Post(url, contentType string, body io.Reader) (*Response, error) {
+	return nil, errStub
+}
+func (c *Client) PostForm(url string, data map[string][]string) (*Response, error) {
+	return nil, errStub
+}
+func (c *Client) Head(url string) (*Response, error) { return nil, errStub }
+
+// DefaultClient backs the package-level convenience functions.
+var DefaultClient = &Client{}
+
+var errStub = errors.New("stub")
+
+func Get(url string) (*Response, error) { return nil, errStub }
+func Post(url, contentType string, body io.Reader) (*Response, error) {
+	return nil, errStub
+}
+func PostForm(url string, data map[string][]string) (*Response, error) {
+	return nil, errStub
+}
+func Head(url string) (*Response, error) { return nil, errStub }
+
+func NewRequest(method, url string, body io.Reader) (*Request, error) {
+	return &Request{Method: method, URL: url}, nil
+}
+
+func NewRequestWithContext(ctx context.Context, method, url string, body io.Reader) (*Request, error) {
+	return &Request{Method: method, URL: url}, nil
+}
+
+// ResponseWriter is the stub of net/http.ResponseWriter.
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Error replies with the given message and status code.
+func Error(w ResponseWriter, msg string, code int) {}
+
+const (
+	StatusOK                  = 200
+	StatusInternalServerError = 500
+)
