@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"dve/internal/dve"
 	"dve/internal/experiments"
 	"dve/internal/perf"
 	"dve/internal/results"
@@ -27,6 +28,7 @@ func main() {
 		exp      = flag.String("experiment", "all", "table1|fig1|fig6|fig7|fig8|fig9|fig10|energy|faults|verify|bench|all")
 		scale    = flag.String("scale", "standard", "quick|standard|full")
 		parallel = flag.Int("parallel", 8, "concurrent simulations")
+		engine   = flag.String("engine", "", "simulation engine: auto|serial|parallel|legacy; with -experiment bench also \"both\" (the bench default) to measure serial and parallel in one report")
 		jsonOut  = flag.String("json", "", "with -experiment bench: write the perf report to this BENCH_*.json file")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = no caching)")
 		minHit   = flag.Float64("min-cache-hit", 0, "fail if the cache hit rate ends below this fraction (CI guard)")
@@ -51,6 +53,14 @@ func main() {
 	r.Scale, err = experiments.ScaleByName(*scale)
 	if err != nil {
 		fatal(err)
+	}
+	// -engine both only makes sense for bench (one report, two modes);
+	// experiment matrices run under exactly one mode.
+	if *exp != "bench" {
+		r.Engine, err = dve.ParseEngineMode(*engine)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	var store *results.Store
 	if *cacheDir != "" {
@@ -79,7 +89,11 @@ func main() {
 	// bench measures the simulator itself rather than the paper's results;
 	// it is opt-in only (not part of -experiment all).
 	if *exp == "bench" {
-		rep, err := r.Bench(*scale)
+		modes, err := experiments.BenchModes(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := r.Bench(*scale, modes...)
 		if err != nil {
 			fatal(err)
 		}

@@ -34,6 +34,9 @@ func main() {
 		coarse  = flag.Bool("coarse", false, "coarse-grain (region) replica directory")
 		oracle  = flag.Bool("oracle", false, "oracular replica directory (Fig 9 ceiling)")
 		baseCmp = flag.Bool("speedup", false, "also run the baseline and report speedup")
+		engineF = flag.String("engine", "auto", "simulation engine: auto|serial|parallel|legacy")
+		serial  = flag.Bool("serial", false, "shorthand for -engine serial")
+		parF    = flag.Bool("parallel", false, "shorthand for -engine parallel")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
@@ -76,7 +79,22 @@ func main() {
 	cfg.CoarseGrain = *coarse
 	cfg.Oracular = *oracle
 
+	mode, err := dve.ParseEngineMode(*engineF)
+	if err != nil {
+		fatal(err)
+	}
+	if *serial && *parF {
+		fatal(fmt.Errorf("-serial and -parallel are mutually exclusive"))
+	}
+	if *serial {
+		mode = dve.EngineSerial
+	}
+	if *parF {
+		mode = dve.EngineParallel
+	}
+
 	rc := dve.RunConfig{Cfg: cfg, WarmupOps: *warmup, MeasureOps: *ops,
+		Engine:   mode,
 		Classify: p == topology.ProtoBaseline}
 	var tracer *telemetry.Tracer
 	if *traceEv != "" {
@@ -104,7 +122,8 @@ func main() {
 	if *baseCmp && p != topology.ProtoBaseline {
 		bcfg := topology.Default(topology.ProtoBaseline)
 		bcfg.InterSocketNs = *linkNs
-		base, err := dve.Run(spec, dve.RunConfig{Cfg: bcfg, WarmupOps: *warmup, MeasureOps: *ops})
+		base, err := dve.Run(spec, dve.RunConfig{Cfg: bcfg, WarmupOps: *warmup, MeasureOps: *ops,
+			Engine: mode})
 		if err != nil {
 			fatal(err)
 		}
@@ -129,8 +148,16 @@ func parseProtocol(s string) (topology.Protocol, error) {
 
 func printResult(res *dve.Result) {
 	c := &res.Counters
-	fmt.Printf("workload=%s protocol=%s\n", res.Workload, res.Protocol)
+	fmt.Printf("workload=%s protocol=%s engine=%s", res.Workload, res.Protocol, res.Engine)
+	if res.Workers > 1 {
+		fmt.Printf(" workers=%d", res.Workers)
+	}
+	fmt.Println()
 	fmt.Printf("ROI cycles            %d\n", res.Cycles)
+	if res.Counters.EngineEpochs > 0 {
+		fmt.Printf("sync epochs           %d (%d barrier stalls)\n",
+			res.Counters.EngineEpochs, res.Counters.EngineBarrierStalls)
+	}
 	fmt.Printf("ops                   %d (reads %d, writes %d)\n", c.Ops, c.Reads, c.Writes)
 	fmt.Printf("L1 hit rate           %.4f\n", rate(c.L1Hits, c.L1Hits+c.L1Misses))
 	fmt.Printf("LLC hit rate          %.4f  (MPKI %.2f)\n", rate(c.LLCHits, c.LLCHits+c.LLCMisses), c.MPKI())

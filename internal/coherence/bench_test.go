@@ -13,7 +13,10 @@ func BenchmarkDirectoryLookup(b *testing.B) {
 	cfg := topology.Default(topology.ProtoBaseline)
 	const lines = 1 << 14
 	cfg.FootprintHintLines = lines * 2 // both sockets' shares
-	s := New(&cfg)
+	s, err := New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	d := s.Dirs[0]
 	step := topology.Line(cfg.LineSizeBytes)
 	for i := 0; i < lines; i++ {
@@ -33,7 +36,10 @@ func BenchmarkDirectoryLookup(b *testing.B) {
 func BenchmarkDirectoryInsert(b *testing.B) {
 	cfg := topology.Default(topology.ProtoBaseline)
 	cfg.FootprintHintLines = b.N * cfg.Sockets
-	s := New(&cfg)
+	s, err := New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	d := s.Dirs[0]
 	step := topology.Line(cfg.LineSizeBytes)
 	b.ReportAllocs()

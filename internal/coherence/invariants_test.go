@@ -26,10 +26,10 @@ func TestInvariantsUnderRandomTraffic(t *testing.T) {
 				inflight++
 				s.Access(core, write, a, func() { inflight-- })
 				if i%7 == 0 {
-					s.Eng.Run() // interleave drain points
+					s.Engs[0].Run() // interleave drain points
 				}
 			}
-			s.Eng.Run()
+			s.Engs[0].Run()
 			if inflight != 0 {
 				t.Fatalf("%d accesses never completed", inflight)
 			}

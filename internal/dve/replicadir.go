@@ -93,7 +93,7 @@ func New(sys *coherence.System, socket int, mode Mode) *ReplicaDir {
 		regions:     make(map[uint64]bool),
 		owners:      make(map[topology.Line]bool),
 		fillPending: make(map[topology.Line][]func()),
-		seqq: cache.NewSequencer(sys.Eng, sim.Cycle(cfg.DirLatencyCyc),
+		seqq: cache.NewSequencer(sys.Engs[socket], sim.Cycle(cfg.DirLatencyCyc),
 			cache.NewMSHR(0)),
 		dirFetchLat: sim.Cycle(cfg.Cycles(cfg.TRCDns+cfg.TCLns)) +
 			10, // activate + CAS + burst for the in-memory directory line
@@ -160,7 +160,7 @@ func (rd *ReplicaDir) seq(name string, l topology.Line, fn func(release func()))
 // readReplicaMem reads the line's replica from this socket's local memory,
 // recovering via the home copy if the local ECC check fails.
 func (rd *ReplicaDir) readReplicaMem(l topology.Line, cb func()) {
-	cnt := rd.sys.Cnt
+	cnt := rd.sys.Cnts[rd.socket]
 	ra := rd.replicaAddr(l)
 	rd.sys.MCs[rd.socket].Read(ra, func(failed bool) {
 		if !failed {
@@ -222,7 +222,7 @@ func (rd *ReplicaDir) LocalGETS(l topology.Line, needData bool, done func(fromRe
 }
 
 func (rd *ReplicaDir) allowGETS(l topology.Line, fin func(bool)) {
-	cnt := rd.sys.Cnt
+	cnt := rd.sys.Cnts[rd.socket]
 	if e := rd.store.Lookup(l); e != nil {
 		cnt.ReplicaDirHits++
 		// S or M entry: the replica (or our own LLC) holds current data.
@@ -267,7 +267,7 @@ func (j *specJoin) specLanded() {
 // allowLineMiss pulls a read permission from the home directory, overlapping
 // a speculative local replica read with the round trip when enabled.
 func (rd *ReplicaDir) allowLineMiss(l topology.Line, fin func(bool)) {
-	cnt := rd.sys.Cnt
+	cnt := rd.sys.Cnts[rd.socket]
 	spec := rd.sys.Cfg.SpeculativeReads
 	var join *specJoin
 	if spec {
@@ -327,7 +327,7 @@ func (rd *ReplicaDir) allowRegionMiss(l topology.Line, fin func(bool)) {
 }
 
 func (rd *ReplicaDir) denyGETS(l topology.Line, fin func(bool)) {
-	cnt := rd.sys.Cnt
+	cnt := rd.sys.Cnts[rd.socket]
 	cachedEntry := rd.store.Lookup(l) != nil
 	var entryLat sim.Cycle
 	spec := false
@@ -348,7 +348,7 @@ func (rd *ReplicaDir) denyGETS(l topology.Line, fin func(bool)) {
 		join = &specJoin{}
 		rd.readReplicaMem(l, join.specLanded)
 	}
-	rd.sys.Eng.Schedule(entryLat, func() {
+	rd.sys.Engs[rd.socket].Schedule(entryLat, func() {
 		// Sample the durable entry when the fetch completes, not when it
 		// issues: a HomeInvalidate can land while the fetch (or the
 		// speculative read) is in flight, and its freshly installed RM
@@ -407,7 +407,7 @@ func stOrShared(st cache.State, ok bool) cache.State {
 // zero-latency insertion. It consults home state with oracle knowledge; only
 // genuinely-required transfers (home-side dirty data) pay latency.
 func (rd *ReplicaDir) oracleGETS(l topology.Line, fin func(bool)) {
-	cnt := rd.sys.Cnt
+	cnt := rd.sys.Cnts[rd.socket]
 	st, owner, _ := rd.home().Entry(l)
 	homeSocket := (rd.socket + 1) % rd.sys.Cfg.Sockets
 	if (st == cache.Modified || st == cache.Owned) && owner == homeSocket {
@@ -445,7 +445,7 @@ func (rd *ReplicaDir) LocalGETX(l topology.Line, needData bool, done func()) {
 				entryLat = rd.dirFetchLat
 			}
 		}
-		rd.sys.Eng.Schedule(entryLat, func() {
+		rd.sys.Engs[rd.socket].Schedule(entryLat, func() {
 			rd.sys.Link.Send(rd.socket, noc.CtrlBytes, func() {
 				rd.home().ReplicaGETX(l, func(dataShipped bool) {
 					rd.fillPending[l] = nil
@@ -496,7 +496,7 @@ func (rd *ReplicaDir) LocalPUTM(l topology.Line, done func()) {
 			return
 		}
 		delete(rd.owners, l)
-		rd.sys.Cnt.DualWritebacks++
+		rd.sys.Cnts[rd.socket].DualWritebacks++
 		remaining := 2
 		part := func() {
 			remaining--
@@ -574,7 +574,7 @@ func (rd *ReplicaDir) HomeInvalidate(l topology.Line, ack func()) {
 			}
 		}
 	}
-	rd.sys.Eng.Schedule(lat, ack)
+	rd.sys.Engs[rd.socket].Schedule(lat, ack)
 }
 
 // HomeUndeny implements coherence.ReplicaAgent: a home-side writeback
@@ -614,7 +614,7 @@ func (rd *ReplicaDir) HomeFetch(l topology.Line, invalidate bool, ack func()) {
 		}
 		rd.insertEntry(l, cache.Shared)
 	}
-	rd.sys.Eng.Schedule(lat, ack)
+	rd.sys.Engs[rd.socket].Schedule(lat, ack)
 }
 
 // Drain implements coherence.ReplicaAgent: clear all replica-directory state
@@ -632,7 +632,7 @@ func (rd *ReplicaDir) Drain(done func()) {
 	for _, l := range rd.home().LinesOwnedBy(rd.socket) {
 		rd.owners[l] = true
 	}
-	rd.sys.Eng.Schedule(sim.Cycle(rd.sys.Cfg.DirLatencyCyc), done)
+	rd.sys.Engs[rd.socket].Schedule(sim.Cycle(rd.sys.Cfg.DirLatencyCyc), done)
 }
 
 // SetMode switches the protocol family, draining first. Entering allow

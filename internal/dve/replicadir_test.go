@@ -13,7 +13,10 @@ import (
 func newSystem(t *testing.T, p topology.Protocol, mode Mode) (*coherence.System, []*ReplicaDir) {
 	t.Helper()
 	cfg := topology.Default(p)
-	sys := coherence.New(&cfg)
+	sys, err := coherence.New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rds := []*ReplicaDir{New(sys, 0, mode), New(sys, 1, mode)}
 	return sys, rds
 }
@@ -22,7 +25,7 @@ func do(t *testing.T, sys *coherence.System, core int, write bool, a topology.Ad
 	t.Helper()
 	ok := false
 	sys.Access(core, write, a, func() { ok = true })
-	sys.Eng.Run()
+	sys.Engs[0].Run()
 	if !ok {
 		t.Fatalf("access %#x never completed", a)
 	}
@@ -38,11 +41,11 @@ func TestDenyFirstReadIsLinkFree(t *testing.T) {
 	// Core 8 (socket 1) reads a socket-0-homed line: under deny, absence of
 	// an entry means readable — zero link messages.
 	do(t, sys, 8, false, remoteAddr)
-	if sys.Link.Msgs != 0 {
-		t.Fatalf("deny first read crossed the link (%d msgs)", sys.Link.Msgs)
+	if sys.Link.Msgs() != 0 {
+		t.Fatalf("deny first read crossed the link (%d msgs)", sys.Link.Msgs())
 	}
-	if sys.Cnt.ReplicaReads != 1 {
-		t.Fatalf("replica reads = %d, want 1", sys.Cnt.ReplicaReads)
+	if sys.Cnts[0].ReplicaReads != 1 {
+		t.Fatalf("replica reads = %d, want 1", sys.Cnts[0].ReplicaReads)
 	}
 }
 
@@ -51,15 +54,15 @@ func TestAllowFirstReadPullsPermission(t *testing.T) {
 	sys.Link.Reset()
 	do(t, sys, 8, false, remoteAddr)
 	// Allow must ask home: one control message each way.
-	if sys.Link.Msgs != 2 {
-		t.Fatalf("allow first read sent %d link msgs, want 2 (ctrl pull)", sys.Link.Msgs)
+	if sys.Link.Msgs() != 2 {
+		t.Fatalf("allow first read sent %d link msgs, want 2 (ctrl pull)", sys.Link.Msgs())
 	}
 	// But the data itself came from the local replica.
-	if sys.Cnt.ReplicaReads != 1 {
-		t.Fatalf("replica reads = %d, want 1", sys.Cnt.ReplicaReads)
+	if sys.Cnts[0].ReplicaReads != 1 {
+		t.Fatalf("replica reads = %d, want 1", sys.Cnts[0].ReplicaReads)
 	}
 	// Second read: the entry is cached; fully local.
-	msgs := sys.Link.Msgs
+	msgs := sys.Link.Msgs()
 	do(t, sys, 9, false, remoteAddr) // other core, same socket, L1 miss, LLC hit
 	do(t, sys, 8, false, remoteAddr+64)
 	_ = msgs
@@ -68,29 +71,32 @@ func TestAllowFirstReadPullsPermission(t *testing.T) {
 func TestSpeculativeReadAccounting(t *testing.T) {
 	sys, _ := newSystem(t, topology.ProtoAllow, Allow)
 	do(t, sys, 8, false, remoteAddr)
-	if sys.Cnt.SpecIssued != 1 {
-		t.Fatalf("spec issued = %d, want 1", sys.Cnt.SpecIssued)
+	if sys.Cnts[0].SpecIssued != 1 {
+		t.Fatalf("spec issued = %d, want 1", sys.Cnts[0].SpecIssued)
 	}
-	if sys.Cnt.SpecSquashed != 0 {
-		t.Fatalf("clean pull squashed %d", sys.Cnt.SpecSquashed)
+	if sys.Cnts[0].SpecSquashed != 0 {
+		t.Fatalf("clean pull squashed %d", sys.Cnts[0].SpecSquashed)
 	}
 	// Make the home side dirty; the next replica-side read must squash its
 	// speculative local read (data ships over the link).
 	do(t, sys, 0, true, remoteAddr+128)
 	do(t, sys, 8, false, remoteAddr+128)
-	if sys.Cnt.SpecSquashed != 1 {
-		t.Fatalf("squashed = %d, want 1 (home-dirty pull)", sys.Cnt.SpecSquashed)
+	if sys.Cnts[0].SpecSquashed != 1 {
+		t.Fatalf("squashed = %d, want 1 (home-dirty pull)", sys.Cnts[0].SpecSquashed)
 	}
 }
 
 func TestNoSpeculationWhenDisabled(t *testing.T) {
 	cfg := topology.Default(topology.ProtoAllow)
 	cfg.SpeculativeReads = false
-	sys := coherence.New(&cfg)
+	sys, err := coherence.New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	New(sys, 0, Allow)
 	New(sys, 1, Allow)
 	do(t, sys, 8, false, remoteAddr)
-	if sys.Cnt.SpecIssued != 0 {
+	if sys.Cnts[0].SpecIssued != 0 {
 		t.Fatal("speculation issued despite being disabled")
 	}
 }
@@ -99,7 +105,7 @@ func TestReplicaSideWriteSerializesAtHome(t *testing.T) {
 	sys, _ := newSystem(t, topology.ProtoDeny, Deny)
 	sys.Link.Reset()
 	do(t, sys, 8, true, remoteAddr) // replica-side write
-	if sys.Link.Msgs < 2 {
+	if sys.Link.Msgs() < 2 {
 		t.Fatal("replica-side write did not consult the home directory")
 	}
 	// The home directory now records the replica side as owner.
@@ -117,7 +123,7 @@ func TestDualWritebackOnReplicaEviction(t *testing.T) {
 	for i := 1; i <= sys.Cfg.LLCWays+1; i++ {
 		do(t, sys, 8, false, remoteAddr+topology.Addr(uint64(i)*setStride*2))
 	}
-	if sys.Cnt.DualWritebacks == 0 {
+	if sys.Cnts[0].DualWritebacks == 0 {
 		t.Fatal("replica-side dirty eviction skipped the dual writeback")
 	}
 	// Both memory controllers saw the write.
@@ -131,13 +137,13 @@ func TestDenyRMBlocksReplicaRead(t *testing.T) {
 	// Home-side write installs RM at the replica directory.
 	do(t, sys, 0, true, remoteAddr)
 	sys.Link.Reset()
-	before := sys.Cnt.ReplicaReads
+	before := sys.Cnts[0].ReplicaReads
 	// Replica-side read must fetch through home (RM: replica stale).
 	do(t, sys, 8, false, remoteAddr)
-	if sys.Cnt.ReplicaReads != before {
+	if sys.Cnts[0].ReplicaReads != before {
 		t.Fatal("stale replica served a read while RM")
 	}
-	if sys.Link.Msgs == 0 {
+	if sys.Link.Msgs() == 0 {
 		t.Fatal("RM read did not go to home")
 	}
 }
@@ -151,7 +157,7 @@ func TestModeSwitchPreservesSafety(t *testing.T) {
 	for _, rd := range rds {
 		rd.SetMode(Allow, func() { pending-- })
 	}
-	sys.Eng.Run()
+	sys.Engs[0].Run()
 	if pending != 0 {
 		t.Fatal("mode switch never completed")
 	}
@@ -160,9 +166,9 @@ func TestModeSwitchPreservesSafety(t *testing.T) {
 	}
 	// A replica-side read after the switch must NOT serve stale replica
 	// data: allow mode requires a pull, which fetches from the dirty owner.
-	before := sys.Cnt.ReplicaReads
+	before := sys.Cnts[0].ReplicaReads
 	do(t, sys, 8, false, remoteAddr)
-	if sys.Cnt.ReplicaReads != before {
+	if sys.Cnts[0].ReplicaReads != before {
 		t.Fatal("allow served the replica for a home-dirty line after a mode switch")
 	}
 	// And switching back to deny rebuilds the RM set from home state.
@@ -170,7 +176,7 @@ func TestModeSwitchPreservesSafety(t *testing.T) {
 	for _, rd := range rds {
 		rd.SetMode(Deny, func() { pending-- })
 	}
-	sys.Eng.Run()
+	sys.Engs[0].Run()
 	if pending != 0 {
 		t.Fatal("switch back never completed")
 	}
@@ -179,22 +185,25 @@ func TestModeSwitchPreservesSafety(t *testing.T) {
 func TestCoarseGrainRegionGrantAndInvalidate(t *testing.T) {
 	cfg := topology.Default(topology.ProtoAllow)
 	cfg.CoarseGrain = true
-	sys := coherence.New(&cfg)
+	sys, err := coherence.New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	New(sys, 0, Allow)
 	New(sys, 1, Allow)
 
 	// First replica-side read acquires a whole-region grant.
 	do(t, sys, 8, false, remoteAddr)
-	misses := sys.Cnt.ReplicaDirMisses
+	misses := sys.Cnts[0].ReplicaDirMisses
 	// Another line of the same 4KB region: region hit, no second pull.
 	do(t, sys, 8, false, remoteAddr+640)
-	if sys.Cnt.ReplicaDirMisses != misses {
+	if sys.Cnts[0].ReplicaDirMisses != misses {
 		t.Fatal("second line of a granted region missed")
 	}
 	// A home-side write anywhere in the region revokes it.
 	do(t, sys, 0, true, remoteAddr+128)
 	do(t, sys, 8, false, remoteAddr+1280)
-	if sys.Cnt.ReplicaDirMisses == misses {
+	if sys.Cnts[0].ReplicaDirMisses == misses {
 		t.Fatal("region survived a home-side exclusive request")
 	}
 }
@@ -202,20 +211,23 @@ func TestCoarseGrainRegionGrantAndInvalidate(t *testing.T) {
 func TestOracularNeverWorseAccounting(t *testing.T) {
 	cfg := topology.Default(topology.ProtoAllow)
 	cfg.Oracular = true
-	sys := coherence.New(&cfg)
+	sys, err := coherence.New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	New(sys, 0, Allow)
 	New(sys, 1, Allow)
 	sys.Link.Reset()
 	do(t, sys, 8, false, remoteAddr)
 	// Oracle read of a clean line: no link traffic at all.
-	if sys.Link.Msgs != 0 {
-		t.Fatalf("oracle clean read crossed the link (%d msgs)", sys.Link.Msgs)
+	if sys.Link.Msgs() != 0 {
+		t.Fatalf("oracle clean read crossed the link (%d msgs)", sys.Link.Msgs())
 	}
 	// But a home-dirty line still pays the unavoidable fetch.
 	do(t, sys, 0, true, remoteAddr+128)
 	sys.Link.Reset()
 	do(t, sys, 8, false, remoteAddr+128)
-	if sys.Link.Msgs == 0 {
+	if sys.Link.Msgs() == 0 {
 		t.Fatal("oracle read of a dirty line cannot be free")
 	}
 }

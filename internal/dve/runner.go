@@ -20,6 +20,9 @@ type RunConfig struct {
 	// in detail (Section VI "Workloads").
 	WarmupOps  uint64
 	MeasureOps uint64
+	// Engine selects the execution engine (EngineAuto partitions per socket
+	// when the configuration allows it; see EngineMode).
+	Engine EngineMode
 	// Classify enables Fig 7 sharing-pattern classification (normally only
 	// on baseline runs).
 	Classify bool
@@ -63,6 +66,17 @@ type OpSource interface {
 type Result struct {
 	Workload string
 	Protocol topology.Protocol
+	// Engine records the engine that actually executed the run: "legacy"
+	// (single global event queue) or "partitioned" (per-socket queues with
+	// link-latency lookahead). Serial and parallel execution of the
+	// partitioned engine produce byte-identical results, so they share the
+	// label; legacy orders cross-socket ties differently and is a distinct
+	// statistics universe.
+	Engine string
+	// Workers is how many goroutines executed the engine (1 for legacy and
+	// serial partitioned runs). It never affects the statistics — only the
+	// host-side cost — and perf reports record it next to wall time.
+	Workers int
 	// Cycles is the region-of-interest duration.
 	Cycles uint64
 	// Counters are the ROI statistics (link traffic, classes, DRAM, ...).
@@ -82,31 +96,51 @@ type Result struct {
 // barrierLatency approximates the synchronization cost of a barrier episode.
 const barrierLatency = 100
 
+// group is the per-partition slice of the runner: the threads of one
+// socket, their op budget and ROI window, and the local half of the
+// barrier protocol. The legacy engine runs one group holding every thread
+// (reproducing the original single-queue behavior exactly); the
+// partitioned engine runs one group per socket, each touching only its own
+// partition's engine and counter shard.
+type group struct {
+	r       *runner
+	id      int // socket index (0 in legacy single-group mode)
+	eng     *sim.Engine
+	cnt     *stats.Counters
+	nthr    int // threads in this group
+	budget  uint64
+	warmup  uint64
+	ops     uint64
+	inROI   bool
+	roiStart  sim.Cycle
+	roiCycles uint64
+
+	// Local barrier state: arrivals park here until every thread of the
+	// group is in, then the group reports to the global coordinator.
+	barWaiting int
+	barResume  []func()
+}
+
 // runner drives one workload through one system configuration.
 type runner struct {
-	sys  *coherence.System
-	gen  OpSource
-	rc   RunConfig
-	rds  []*ReplicaDir
-	cfg  *topology.Config
-	nthr int
+	sys    *coherence.System
+	gen    OpSource
+	rc     RunConfig
+	rds    []*ReplicaDir
+	cfg    *topology.Config
+	nthr   int
+	groups []*group
 
 	// threads holds one reusable issue record per hardware thread, so the
 	// steady-state compute->access->repeat loop allocates nothing per op.
 	threads []*thread
 
-	totalOps uint64
-	budget   uint64
-	roiStart sim.Cycle
-	inROI    bool
+	// barGroups counts groups fully arrived at the current barrier; the
+	// coordinator (group 0's partition) releases everyone when all are in.
+	barGroups int
 
-	// barrier state
-	barWaiting int
-	barResume  []func()
-
-	// dynamic protocol state
-	dynamic   *dynamicCtl
-	roiCycles uint64
+	// dynamic protocol state (legacy engine only).
+	dynamic *dynamicCtl
 }
 
 // Run simulates a workload under the given configuration and returns the
@@ -147,7 +181,25 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	if cfg.FootprintHintLines == 0 && spec.FootprintMB > 0 && cfg.LineSizeBytes > 0 {
 		cfg.FootprintHintLines = spec.FootprintMB << 20 / cfg.LineSizeBytes
 	}
-	sys := coherence.New(&cfg)
+	partitioned, workers := resolveEngine(rc.Engine, &rc, &cfg)
+	var (
+		sys *coherence.System
+		pe  *sim.ParallelEngine
+		err error
+	)
+	if partitioned {
+		// The lookahead window is the link's minimum sender-to-delivery
+		// distance: one serialization cycle plus the propagation latency.
+		window := sim.Cycle(cfg.InterSocketCyc()) + 1
+		pe = sim.NewParallelEngine(cfg.Sockets, window)
+		pe.SetWorkers(workers)
+		sys, err = coherence.NewPartitioned(&cfg, pe)
+	} else {
+		sys, err = coherence.New(&cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
 	sys.SetTracer(rc.Telemetry) // before replica dirs: they inherit sys.Trace
 	sys.Classify = rc.Classify
 	sys.ReplicaMap = rc.ReplicaMap
@@ -166,16 +218,13 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		sys.RepairFn = rc.Faults.Repair
 	}
 	r := &runner{
-		sys:    sys,
-		gen:    gen,
-		rc:     rc,
-		cfg:    &cfg,
-		nthr:   cfg.TotalCores(),
-		budget: rc.WarmupOps + rc.MeasureOps,
+		sys:  sys,
+		gen:  gen,
+		rc:   rc,
+		cfg:  &cfg,
+		nthr: cfg.TotalCores(),
 	}
-	if rc.WarmupOps == 0 {
-		r.inROI = true
-	}
+	r.buildGroups(partitioned)
 	if cfg.Replicated() {
 		mode := Allow
 		if cfg.Protocol == topology.ProtoDeny {
@@ -201,29 +250,47 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	}
 	r.threads = make([]*thread, r.nthr)
 	for t := 0; t < r.nthr; t++ {
-		tc := &thread{r: r, t: t}
+		tc := &thread{r: r, t: t, g: r.groupOf(t)}
 		tc.done = tc.accessDone
 		r.threads[t] = tc
-		sys.Eng.ScheduleFn(sim.Cycle(t), threadStart, tc, 0)
+		tc.g.eng.ScheduleFn(sim.Cycle(t), threadStart, tc, 0)
 	}
-	sys.Eng.Run()
+	sys.Drain()
 
+	engine := "legacy"
+	if partitioned {
+		engine = "partitioned"
+	}
+	var roiCycles uint64
+	for _, g := range r.groups {
+		if g.roiCycles > roiCycles {
+			roiCycles = g.roiCycles
+		}
+	}
 	res := &Result{
 		Workload:            spec.Name,
 		Protocol:            cfg.Protocol,
-		Cycles:              r.roiCycles,
-		Counters:            *sys.Cnt,
+		Engine:              engine,
+		Workers:             workers,
+		Cycles:              roiCycles,
+		Counters:            sys.Counters(),
 		InvariantViolations: sys.CheckInvariants(),
 	}
-	res.Counters.LinkMsgs = sys.Link.Msgs
-	res.Counters.LinkBytes = sys.Link.Bytes
-	res.Counters.Cycles = r.roiCycles
+	res.Counters.LinkMsgs = sys.Link.Msgs()
+	res.Counters.LinkBytes = sys.Link.Bytes()
+	res.Counters.Cycles = roiCycles
 	for _, mc := range sys.MCs {
 		res.Counters.DRAMReads += mc.Reads
 		res.Counters.DRAMWrites += mc.Writes
 		res.Counters.RowHits += mc.RowHits
 		res.Counters.RowMisses += mc.RowMisses
 		res.Counters.DRAMBusyCycles += mc.BusyCycles
+	}
+	if pe != nil {
+		// Whole-run epoch accounting (deterministic: both are pure
+		// functions of the event trace, independent of the worker count).
+		res.Counters.EngineEpochs = pe.Epochs()
+		res.Counters.EngineBarrierStalls = pe.BarrierStalls()
 	}
 	if r.dynamic != nil {
 		res.Counters.EpochsAllow = r.dynamic.epochsAllow
@@ -243,11 +310,57 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 	return res, nil
 }
 
+// buildGroups creates the execution groups: one global group on the legacy
+// engine, or one per socket on the partitioned engine, with the op budget
+// and warmup split evenly (remainders to group 0 so totals are preserved).
+func (r *runner) buildGroups(partitioned bool) {
+	total := r.rc.WarmupOps + r.rc.MeasureOps
+	if !partitioned {
+		g := &group{
+			r: r, id: 0,
+			eng:    r.sys.Engs[0],
+			cnt:    r.sys.Cnts[0],
+			nthr:   r.nthr,
+			budget: total,
+			warmup: r.rc.WarmupOps,
+		}
+		g.inROI = g.warmup == 0
+		r.groups = []*group{g}
+		return
+	}
+	n := r.cfg.Sockets
+	for s := 0; s < n; s++ {
+		g := &group{
+			r: r, id: s,
+			eng:    r.sys.Engs[s],
+			cnt:    r.sys.Cnts[s],
+			nthr:   r.cfg.CoresPerSocket,
+			budget: total / uint64(n),
+			warmup: r.rc.WarmupOps / uint64(n),
+		}
+		if s == 0 {
+			g.budget += total % uint64(n)
+			g.warmup += r.rc.WarmupOps % uint64(n)
+		}
+		g.inROI = g.warmup == 0
+		r.groups = append(r.groups, g)
+	}
+}
+
+// groupOf returns the execution group driving the given core.
+func (r *runner) groupOf(core int) *group {
+	if len(r.groups) == 1 {
+		return r.groups[0]
+	}
+	return r.groups[r.sys.SocketOf(core)]
+}
+
 // thread is the reusable per-thread issue record: the in-flight op rides in
 // the record and the done callback is built once, so issuing an op performs
 // no per-op allocation.
 type thread struct {
 	r    *runner
+	g    *group
 	t    int
 	op   workload.Op
 	done func()
@@ -255,7 +368,7 @@ type thread struct {
 
 // accessDone completes one memory operation and issues the next.
 func (tc *thread) accessDone() {
-	tc.r.completed()
+	tc.g.completed()
 	tc.r.issue(tc.t)
 }
 
@@ -273,75 +386,142 @@ func issueAccess(arg any, _ uint64) {
 
 // issue drives one thread: compute, access, repeat.
 func (r *runner) issue(t int) {
-	if r.totalOps >= r.budget {
-		r.finishROI()
+	tc := r.threads[t]
+	g := tc.g
+	if g.ops >= g.budget {
+		g.finishROI()
 		return
 	}
 	op := r.gen.Next(t)
 	if op.Kind == workload.Barrier {
-		r.barrier(t)
+		r.barrier(g, t)
 		return
 	}
-	tc := r.threads[t]
 	tc.op = op
-	r.sys.Eng.ScheduleFn(sim.Cycle(op.Compute), issueAccess, tc, 0)
+	g.eng.ScheduleFn(sim.Cycle(op.Compute), issueAccess, tc, 0)
 }
 
-// completed advances the global op counter and ROI bookkeeping.
-func (r *runner) completed() {
-	r.totalOps++
-	r.sys.Cnt.Ops++
-	if !r.inROI && r.totalOps >= r.rc.WarmupOps {
-		r.startROI()
+// completed advances the group's op counter and ROI bookkeeping.
+func (g *group) completed() {
+	g.ops++
+	g.cnt.Ops++
+	if !g.inROI && g.ops >= g.warmup {
+		g.startROI()
 	}
-	if r.dynamic != nil && r.inROI {
-		r.dynamic.tick(r.totalOps)
+	if g.r.dynamic != nil && g.inROI {
+		g.r.dynamic.tick(g.ops)
 	}
 }
 
-func (r *runner) startROI() {
-	r.inROI = true
-	r.roiStart = r.sys.Eng.Now()
+func (g *group) startROI() {
+	g.inROI = true
+	g.roiStart = g.eng.Now()
 	// Reset the measured statistics; cache/directory state is kept warm.
-	cls := r.sys.Cnt.DRAMChannels
-	*r.sys.Cnt = stats.Counters{DRAMChannels: cls}
-	r.sys.Link.Reset()
-	for _, mc := range r.sys.MCs {
-		mc.ResetStats()
+	cls := g.cnt.DRAMChannels
+	*g.cnt = stats.Counters{DRAMChannels: cls}
+	if len(g.r.groups) == 1 {
+		g.r.sys.Link.Reset()
+		for _, mc := range g.r.sys.MCs {
+			mc.ResetStats()
+		}
+	} else {
+		// Partitioned: each socket resets its own sending direction and
+		// memory controller from its own partition (a memory controller is
+		// only ever driven by its socket's partition, so its statistics
+		// are partition-local too).
+		g.r.sys.Link.ResetDir(g.id)
+		g.r.sys.MCs[g.id].ResetStats()
 	}
-	if r.dynamic != nil {
-		r.dynamic.start(r.totalOps)
+	if g.r.dynamic != nil {
+		g.r.dynamic.start(g.ops)
 	}
 }
 
-func (r *runner) finishROI() {
-	if r.inROI && r.roiCycles == 0 {
-		r.roiCycles = uint64(r.sys.Eng.Now() - r.roiStart)
+func (g *group) finishROI() {
+	if g.inROI && g.roiCycles == 0 {
+		g.roiCycles = uint64(g.eng.Now() - g.roiStart)
 	}
 }
 
-// barrier parks the thread until all threads arrive.
-func (r *runner) barrier(t int) {
-	r.barWaiting++
-	if r.barWaiting < r.nthr {
-		r.barResume = append(r.barResume, func() { r.issue(t) })
+// barrier parks the thread until all threads arrive. With a single group
+// this is the classic in-engine barrier; with per-socket groups each group
+// collects its own arrivals, reports across the link-latency mailbox to
+// the coordinator on partition 0, and is released the same way, so both
+// the arrival and release orders are deterministic.
+func (r *runner) barrier(g *group, t int) {
+	g.barWaiting++
+	if len(r.groups) == 1 {
+		if g.barWaiting < g.nthr {
+			g.barResume = append(g.barResume, func() { r.issue(t) })
+			return
+		}
+		// Last arrival releases everyone.
+		resume := g.barResume
+		g.barResume = nil
+		g.barWaiting = 0
+		g.eng.Schedule(barrierLatency, func() {
+			for _, fn := range resume {
+				fn()
+			}
+			r.issue(t)
+		})
 		return
 	}
-	// Last arrival releases everyone.
-	resume := r.barResume
-	r.barResume = nil
-	r.barWaiting = 0
-	r.sys.Eng.Schedule(barrierLatency, func() {
-		for _, fn := range resume {
-			fn()
+	g.barResume = append(g.barResume, func() { r.issue(t) })
+	if g.barWaiting < g.nthr {
+		return
+	}
+	// Whole group arrived: report to the coordinator on partition 0.
+	if g.id == 0 {
+		r.groupArrived()
+		return
+	}
+	r.sys.PE.CrossSchedule(g.id, 0, r.crossBarrierDelay(), r.groupArrived)
+}
+
+// crossBarrierDelay is the latency of a barrier coordination hop between
+// partitions: the modeled barrier cost, but never below the lookahead
+// window (a cross-partition event cannot arrive sooner).
+func (r *runner) crossBarrierDelay() sim.Cycle {
+	d := sim.Cycle(barrierLatency)
+	if w := r.sys.PE.Window(); w > d {
+		d = w
+	}
+	return d
+}
+
+// groupArrived runs on partition 0 each time a whole group reaches the
+// barrier; the final arrival releases every group.
+func (r *runner) groupArrived() {
+	r.barGroups++
+	if r.barGroups < len(r.groups) {
+		return
+	}
+	r.barGroups = 0
+	for _, g := range r.groups {
+		if g.id == 0 {
+			g.eng.Schedule(barrierLatency, g.release)
+		} else {
+			r.sys.PE.CrossSchedule(0, g.id, r.crossBarrierDelay(), g.release)
 		}
-		r.issue(t)
-	})
+	}
+}
+
+// release resumes every thread parked at the group's barrier.
+func (g *group) release() {
+	resume := g.barResume
+	g.barResume = nil
+	g.barWaiting = 0
+	for _, fn := range resume {
+		fn()
+	}
 }
 
 // dynamicCtl implements the sampling-based dynamic protocol (Section V-C5):
 // profile allow and deny for a sample window each, then apply the winner for
-// the remainder of the epoch.
+// the remainder of the epoch. The dynamic protocol samples one global clock,
+// so it always runs on the legacy engine (see partitionable) — the single
+// group's engine is Engs[0].
 type dynamicCtl struct {
 	r *runner
 
@@ -363,7 +543,7 @@ func newDynamicCtl(r *runner) *dynamicCtl {
 func (d *dynamicCtl) start(ops uint64) {
 	d.phase = 0
 	d.phaseStart = ops
-	d.cycleStart = d.r.sys.Eng.Now()
+	d.cycleStart = d.r.sys.Engs[0].Now()
 	d.setMode(Allow)
 }
 
@@ -401,7 +581,7 @@ func (d *dynamicCtl) tick(ops uint64) {
 		if elapsed == 0 {
 			return 0
 		}
-		return float64(d.r.sys.Eng.Now()-d.cycleStart) / float64(elapsed)
+		return float64(d.r.sys.Engs[0].Now()-d.cycleStart) / float64(elapsed)
 	}
 	switch d.phase {
 	case 0:
@@ -409,7 +589,7 @@ func (d *dynamicCtl) tick(ops uint64) {
 			d.allowCPO = cpo()
 			d.phase = 1
 			d.phaseStart = ops
-			d.cycleStart = d.r.sys.Eng.Now()
+			d.cycleStart = d.r.sys.Engs[0].Now()
 			d.setMode(Deny)
 		}
 	case 1:
@@ -417,7 +597,7 @@ func (d *dynamicCtl) tick(ops uint64) {
 			d.denyCPO = cpo()
 			d.phase = 2
 			d.phaseStart = ops
-			d.cycleStart = d.r.sys.Eng.Now()
+			d.cycleStart = d.r.sys.Engs[0].Now()
 			if d.denyCPO <= d.allowCPO {
 				d.epochsDeny++
 				d.setMode(Deny)
@@ -430,7 +610,7 @@ func (d *dynamicCtl) tick(ops uint64) {
 		if elapsed >= cfg.EpochOps {
 			d.phase = 0
 			d.phaseStart = ops
-			d.cycleStart = d.r.sys.Eng.Now()
+			d.cycleStart = d.r.sys.Engs[0].Now()
 			d.setMode(Allow)
 		}
 	}

@@ -44,9 +44,20 @@ func TestMeshMetricProperty(t *testing.T) {
 	}
 }
 
+// sharedLink builds a single-engine link (both socket slots aliased), the
+// serial-mode shape every pre-partitioning caller used.
+func sharedLink(t *testing.T, eng *sim.Engine, latency sim.Cycle) *Link {
+	t.Helper()
+	l, err := NewLink([2]*sim.Engine{eng, eng}, nil, latency)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	return l
+}
+
 func TestLinkDeliveryAndAccounting(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, 150)
+	l := sharedLink(t, eng, 150)
 	var arrived sim.Cycle
 	l.Send(0, CtrlBytes, func() { arrived = eng.Now() })
 	eng.Run()
@@ -54,14 +65,14 @@ func TestLinkDeliveryAndAccounting(t *testing.T) {
 	if arrived != 151 {
 		t.Fatalf("ctrl delivered at %d, want 151", arrived)
 	}
-	if l.Msgs != 1 || l.Bytes != CtrlBytes {
-		t.Fatalf("accounting: msgs=%d bytes=%d", l.Msgs, l.Bytes)
+	if l.Msgs() != 1 || l.Bytes() != CtrlBytes {
+		t.Fatalf("accounting: msgs=%d bytes=%d", l.Msgs(), l.Bytes())
 	}
 }
 
 func TestLinkSerialization(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, 100)
+	l := sharedLink(t, eng, 100)
 	var first, second sim.Cycle
 	// Two back-to-back data messages in the same direction must serialize.
 	l.Send(0, DataBytes, func() { first = eng.Now() })
@@ -78,7 +89,7 @@ func TestLinkSerialization(t *testing.T) {
 
 func TestLinkFullDuplex(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, 100)
+	l := sharedLink(t, eng, 100)
 	var a, b sim.Cycle
 	l.Send(0, DataBytes, func() { a = eng.Now() })
 	l.Send(1, DataBytes, func() { b = eng.Now() })
@@ -90,12 +101,74 @@ func TestLinkFullDuplex(t *testing.T) {
 
 func TestLinkReset(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, 10)
+	l := sharedLink(t, eng, 10)
 	l.Send(0, CtrlBytes, func() {})
 	eng.Run()
 	l.Reset()
-	if l.Msgs != 0 || l.Bytes != 0 {
+	if l.Msgs() != 0 || l.Bytes() != 0 {
 		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestLinkResetDir(t *testing.T) {
+	eng := sim.NewEngine()
+	l := sharedLink(t, eng, 10)
+	l.Send(0, CtrlBytes, func() {})
+	l.Send(1, DataBytes, func() {})
+	eng.Run()
+	l.ResetDir(0)
+	if l.Msgs() != 1 || l.Bytes() != DataBytes {
+		t.Fatalf("after ResetDir(0): msgs=%d bytes=%d, want the socket-1 send only", l.Msgs(), l.Bytes())
+	}
+}
+
+func TestLinkRejectsDegenerateLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewLink([2]*sim.Engine{eng, eng}, nil, 0); err == nil {
+		t.Fatal("zero-cycle link latency accepted; the lookahead window would be degenerate")
+	}
+	if _, err := NewLink([2]*sim.Engine{eng, nil}, nil, 10); err == nil {
+		t.Fatal("nil per-socket engine accepted")
+	}
+}
+
+func TestLinkMinLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	l := sharedLink(t, eng, 150)
+	// Minimum delivery distance = 1 serialization cycle + propagation.
+	if got := l.MinLatency(); got != 151 {
+		t.Fatalf("MinLatency = %d, want 151", got)
+	}
+	var arrived sim.Cycle
+	l.Send(0, CtrlBytes, func() { arrived = eng.Now() })
+	eng.Run()
+	if arrived < l.MinLatency() {
+		t.Fatalf("delivery at %d beat MinLatency %d", arrived, l.MinLatency())
+	}
+}
+
+// TestLinkCrossPartitionDelivery drives the mailbox path: two partitions,
+// a send from each side, deliveries land on the destination partition at
+// the same cycles the serial link would produce.
+func TestLinkCrossPartitionDelivery(t *testing.T) {
+	pe := sim.NewParallelEngine(2, 151)
+	l, err := NewLink([2]*sim.Engine{pe.Part(0), pe.Part(1)}, pe, 150)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	var at0, at1 sim.Cycle
+	pe.Part(0).Schedule(0, func() {
+		l.Send(0, CtrlBytes, func() { at1 = pe.Part(1).Now() })
+	})
+	pe.Part(1).Schedule(0, func() {
+		l.Send(1, CtrlBytes, func() { at0 = pe.Part(0).Now() })
+	})
+	pe.Run()
+	if at0 != 151 || at1 != 151 {
+		t.Fatalf("cross deliveries at %d/%d, want 151/151", at0, at1)
+	}
+	if l.Msgs() != 2 {
+		t.Fatalf("msgs = %d, want 2", l.Msgs())
 	}
 }
 
@@ -110,7 +183,7 @@ func countHandler(arg any, v uint64) { *arg.(*uint64) += v }
 // same calendar buckets and the warm-up batch grows all needed capacity.
 func TestLinkSendFnDisabledProbeAllocs(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, 150)
+	l := sharedLink(t, eng, 150)
 	if l.Trace != nil {
 		t.Fatal("fresh link has a tracer attached")
 	}
@@ -138,7 +211,7 @@ func TestLinkSendFnDisabledProbeAllocs(t *testing.T) {
 func TestLinkLatencyFromConfig(t *testing.T) {
 	c := topology.Default(topology.ProtoDeny)
 	eng := sim.NewEngine()
-	l := NewLink(eng, sim.Cycle(c.InterSocketCyc()))
+	l := sharedLink(t, eng, sim.Cycle(c.InterSocketCyc()))
 	if l.Latency() != 150 {
 		t.Fatalf("link latency = %d, want 150", l.Latency())
 	}

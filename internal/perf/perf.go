@@ -24,6 +24,13 @@ import (
 type Run struct {
 	Workload string `json:"workload"`
 	Protocol string `json:"protocol"`
+	// Engine is the engine family the run executed ("legacy" or
+	// "partitioned"); Workers is how many goroutines drove it. Serial and
+	// parallel partitioned runs produce identical simulation results, so
+	// benchmarking both isolates what the worker goroutines cost or save
+	// on this host.
+	Engine  string `json:"engine,omitempty"`
+	Workers int    `json:"workers,omitempty"`
 	// Ops is the number of simulated memory operations (warmup + ROI);
 	// Cycles is the simulated region-of-interest length.
 	Ops    uint64 `json:"ops"`
@@ -38,23 +45,35 @@ type Run struct {
 
 // Report is a BENCH_*.json document: the environment it was measured in
 // plus the measured runs.
+// Schema history:
+//
+//	1 — initial: environment + per-run wall/throughput/alloc measurements.
+//	2 — runs carry the engine mode and goroutine count; the report records
+//	    GOMAXPROCS, so a "parallel showed no speedup" number can be read
+//	    against how many CPUs the host actually offered.
 type Report struct {
 	Schema    int    `json:"schema"`
 	Scale     string `json:"scale"`
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	Runs      []Run  `json:"runs"`
+	// GOMAXPROCS is the scheduler width the measurements ran under. On a
+	// 1-CPU host the parallel engine's workers time-slice one core, so
+	// parity (not speedup) between serial and parallel is the expected
+	// reading there.
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Runs       []Run `json:"runs"`
 }
 
 // NewReport returns an empty report stamped with the build environment.
 func NewReport(scale string) *Report {
 	return &Report{
-		Schema:    1,
-		Scale:     scale,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Schema:     2,
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 

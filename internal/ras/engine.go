@@ -53,7 +53,8 @@ func NewEngine(cfg EngineConfig, set *fault.Set) *Engine {
 }
 
 // Attach wires the engine into a freshly built system. It is shaped to be
-// used directly as dve.RunConfig.Prepare.
+// used directly as dve.RunConfig.Prepare — and a Prepare hook forces the
+// legacy single-queue engine, so Engs[0] below is the one shared engine.
 func (e *Engine) Attach(sys *coherence.System) {
 	e.amap = sys.AMap
 	e.Retired = rmt.NewTable(sys.Cfg.PageBytes)
@@ -63,7 +64,7 @@ func (e *Engine) Attach(sys *coherence.System) {
 
 	sys.RASEvent = func(kind string, socket int, l topology.Line) {
 		e.Journal.Append(Event{
-			Cycle:  uint64(sys.Eng.Now()),
+			Cycle:  uint64(sys.Engs[0].Now()),
 			Kind:   kind,
 			Socket: socket,
 			Line:   uint64(l),
@@ -75,12 +76,12 @@ func (e *Engine) Attach(sys *coherence.System) {
 		e.set.Add(f)
 	}
 	if e.cfg.Inject != nil {
-		e.Inj = NewInjector(*e.cfg.Inject, sys.Eng, e.set, sys.Cfg, e.Journal.Append)
+		e.Inj = NewInjector(*e.cfg.Inject, sys.Engs[0], e.set, sys.Cfg, e.Journal.Append)
 		e.Inj.Start()
 	}
 	if e.cfg.KillSocket >= 0 {
 		socket := e.cfg.KillSocket
-		sys.Eng.ScheduleDaemon(sim.Cycle(e.cfg.KillAtCyc), func() {
+		sys.Engs[0].ScheduleDaemon(sim.Cycle(e.cfg.KillAtCyc), func() {
 			sys.KillSocketMemory(socket, nil)
 		})
 	}

@@ -45,7 +45,11 @@ import (
 // shapes change meaning.
 //
 // History: 2 — dve.Result grew the telemetry metrics snapshot.
-const SchemaVersion = 2
+// History: 3 — cells are keyed by execution engine (legacy vs partitioned):
+// the partitioned per-socket engine orders cross-socket ties by the mailbox
+// merge rule instead of the legacy global sequence, so the two engines are
+// distinct statistics universes and must never share cache entries.
+const SchemaVersion = 3
 
 // Key is a content-address: the stable hash of a result's full input set.
 type Key string
@@ -76,6 +80,11 @@ type CellKey struct {
 	MeasureOps uint64          `json:"measure_ops"`
 	Classify   bool            `json:"classify"`
 	Seed       int64           `json:"seed"`
+	// Engine is the executed engine family ("legacy" or "partitioned") —
+	// NOT the requested mode: serial and parallel execution of the
+	// partitioned engine are byte-identical and intentionally share a key,
+	// while legacy results live in their own universe.
+	Engine string `json:"engine"`
 }
 
 // Hash returns the cell's content address.

@@ -56,6 +56,12 @@ type leaseGrant struct {
 	Classify   bool            `json:"classify"`
 	WarmupOps  uint64          `json:"warmup_ops"`
 	MeasureOps uint64          `json:"measure_ops"`
+	// Engine is the coordinator's requested engine mode (dve.EngineMode
+	// flag spelling). The worker resolves it against its own engine logic
+	// when recomputing the key, so a fleet that disagrees about which
+	// configs partition refuses the cell instead of caching a result from
+	// the wrong statistics universe.
+	Engine string `json:"engine"`
 }
 
 // renewRequest heartbeats a held lease.
@@ -182,6 +188,7 @@ func (s *Server) handleFabricLease(w http.ResponseWriter, r *http.Request) {
 		Classify:   l.job.classify,
 		WarmupOps:  s.runner.Scale.WarmupOps,
 		MeasureOps: s.runner.Scale.MeasureOps,
+		Engine:     s.runner.Engine.String(),
 	})
 }
 

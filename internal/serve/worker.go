@@ -59,9 +59,10 @@ type WorkerConfig struct {
 	Seed uint64
 	// Client is the HTTP seam; nil means a plain http.Client.
 	Client Doer
-	// Exec runs one cell; nil means the Runner at the granted scale. Tests
-	// swap it to control timing and results without simulating.
-	Exec func(spec workload.Spec, cfg topology.Config, classify bool, warmup, measure uint64) (*dve.Result, error)
+	// Exec runs one cell; nil means the Runner at the granted scale and
+	// engine mode. Tests swap it to control timing and results without
+	// simulating.
+	Exec func(spec workload.Spec, cfg topology.Config, classify bool, warmup, measure uint64, engine dve.EngineMode) (*dve.Result, error)
 	// Sleep replaces the backoff/poll sleep in tests; nil sleeps on a
 	// timer honoring context cancellation.
 	Sleep func(d time.Duration)
@@ -130,9 +131,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return w, nil
 }
 
-func (w *Worker) runnerExec(spec workload.Spec, cfg topology.Config, classify bool, warmup, measure uint64) (*dve.Result, error) {
+func (w *Worker) runnerExec(spec workload.Spec, cfg topology.Config, classify bool, warmup, measure uint64, engine dve.EngineMode) (*dve.Result, error) {
 	r := w.cfg.Runner
 	r.Scale = experiments.Scale{WarmupOps: warmup, MeasureOps: measure}
+	r.Engine = engine
 	res, _, err := r.RunCell(spec, cfg, classify)
 	return res, err
 }
@@ -301,15 +303,30 @@ func (w *Worker) Run(ctx context.Context) error {
 func (w *Worker) execute(ctx context.Context, grant leaseGrant) {
 	// Recompute the content key locally: a worker whose binary disagrees
 	// with the coordinator about what these inputs mean must refuse the
-	// cell rather than cache a result under the wrong address.
-	key, err := results.CellKey{
-		Workload:   grant.Workload,
-		Config:     grant.Config,
-		WarmupOps:  grant.WarmupOps,
-		MeasureOps: grant.MeasureOps,
-		Classify:   grant.Classify,
-		Seed:       grant.Workload.Seed,
-	}.Hash()
+	// cell rather than cache a result under the wrong address. The engine
+	// family is resolved with *this* binary's partitioning rules — if the
+	// fleet disagrees about which configs partition, the keys diverge and
+	// the cell is refused here.
+	mode, err := dve.ParseEngineMode(grant.Engine)
+	var key results.Key
+	if err == nil {
+		rc := dve.RunConfig{
+			Cfg:        grant.Config,
+			WarmupOps:  grant.WarmupOps,
+			MeasureOps: grant.MeasureOps,
+			Engine:     mode,
+			Classify:   grant.Classify,
+		}
+		key, err = results.CellKey{
+			Workload:   grant.Workload,
+			Config:     grant.Config,
+			WarmupOps:  grant.WarmupOps,
+			MeasureOps: grant.MeasureOps,
+			Classify:   grant.Classify,
+			Seed:       grant.Workload.Seed,
+			Engine:     rc.ExecutedEngine(),
+		}.Hash()
+	}
 	if err == nil && string(key) != grant.Key {
 		err = fmt.Errorf("cell key mismatch: coordinator %s, worker %s (version skew?)", grant.Key, key)
 	}
@@ -350,7 +367,7 @@ func (w *Worker) execute(ctx context.Context, grant leaseGrant) {
 	}()
 
 	res, execErr := w.cfg.Exec(grant.Workload, grant.Config, grant.Classify,
-		grant.WarmupOps, grant.MeasureOps)
+		grant.WarmupOps, grant.MeasureOps, mode)
 	close(done)
 	hbWG.Wait()
 	if ctx.Err() != nil {

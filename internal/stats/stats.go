@@ -64,6 +64,73 @@ type Counters struct {
 
 	// Dynamic protocol profile decisions.
 	EpochsAllow, EpochsDeny uint64
+
+	// Parallel-engine accounting. Both are pure functions of the event
+	// trace (independent of how many worker goroutines executed it), so
+	// they are safe in deterministic, byte-compared statistics: epochs is
+	// the number of lookahead windows executed; barrier stalls counts
+	// partition-epochs that had no event inside the window (the
+	// load-imbalance signal). Zero on the legacy single-queue engine.
+	EngineEpochs        uint64
+	EngineBarrierStalls uint64
+}
+
+// Merge accumulates o into c. Every scalar event counter adds; the miss
+// latency histogram merges; DRAMChannels is a configuration echo (not an
+// event count) and is adopted from o when c has none. The per-socket
+// partitioned run uses this to fold socket-local counter shards into one
+// run-level view — always folding in ascending socket order, so the result
+// is deterministic.
+func (c *Counters) Merge(o *Counters) {
+	c.Cycles += o.Cycles
+	c.Ops += o.Ops
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.L1Hits += o.L1Hits
+	c.L1Misses += o.L1Misses
+	c.LLCHits += o.LLCHits
+	c.LLCMisses += o.LLCMisses
+	c.LinkMsgs += o.LinkMsgs
+	c.LinkBytes += o.LinkBytes
+	c.PrivateRead += o.PrivateRead
+	c.ReadOnly += o.ReadOnly
+	c.ReadWrite += o.ReadWrite
+	c.PrivateReadWrite += o.PrivateReadWrite
+	c.ReplicaDirHits += o.ReplicaDirHits
+	c.ReplicaDirMisses += o.ReplicaDirMisses
+	c.ReplicaReads += o.ReplicaReads
+	c.HomeReads += o.HomeReads
+	c.SpecIssued += o.SpecIssued
+	c.SpecSquashed += o.SpecSquashed
+	c.DualWritebacks += o.DualWritebacks
+	c.MissLatency.Merge(&o.MissLatency)
+	c.DRAMReads += o.DRAMReads
+	c.DRAMWrites += o.DRAMWrites
+	c.RowHits += o.RowHits
+	c.RowMisses += o.RowMisses
+	c.DRAMBusyCycles += o.DRAMBusyCycles
+	if c.DRAMChannels == 0 {
+		c.DRAMChannels = o.DRAMChannels
+	}
+	c.MemLatencySum += o.MemLatencySum
+	c.MemCount += o.MemCount
+	c.CorrectedErrors += o.CorrectedErrors
+	c.DetectedUncorrect += o.DetectedUncorrect
+	c.Recoveries += o.Recoveries
+	c.DegradedLines += o.DegradedLines
+	c.RetriedReads += o.RetriedReads
+	c.RetrySuccesses += o.RetrySuccesses
+	c.RepairWrites += o.RepairWrites
+	c.RepairVerifyFails += o.RepairVerifyFails
+	c.PagesRetired += o.PagesRetired
+	c.DegradedReads += o.DegradedReads
+	c.SocketKills += o.SocketKills
+	c.DemotedLines += o.DemotedLines
+	c.SilentCorruptions += o.SilentCorruptions
+	c.EpochsAllow += o.EpochsAllow
+	c.EpochsDeny += o.EpochsDeny
+	c.EngineEpochs += o.EngineEpochs
+	c.EngineBarrierStalls += o.EngineBarrierStalls
 }
 
 // MPKI returns LLC misses per thousand operations, the paper's workload

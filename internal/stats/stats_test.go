@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -154,5 +155,44 @@ func TestTable(t *testing.T) {
 	// GeomeanTop with n beyond length clamps.
 	if _, ok := tab.GeomeanTop(100)["a"]; !ok {
 		t.Fatal("GeomeanTop(100) missing scheme")
+	}
+}
+
+// TestMergeCoversEveryField fills every Counters field with a distinct
+// value via reflection and checks Merge into a zero target reproduces it
+// exactly — so adding a field without teaching Merge about it fails here
+// instead of silently dropping a socket shard's counts.
+func TestMergeCoversEveryField(t *testing.T) {
+	var src Counters
+	v := reflect.ValueOf(&src).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Int:
+			f.SetInt(int64(i + 1))
+		case reflect.Struct: // MissLatency
+			src.MissLatency.Add(uint64(i + 1))
+			src.MissLatency.Add(3)
+		default:
+			t.Fatalf("Counters field %s has kind %s: teach this test (and Merge) about it",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	var dst Counters
+	dst.Merge(&src)
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatalf("Merge into zero differs from source:\n got %+v\nwant %+v", dst, src)
+	}
+
+	// Merging twice must double every event counter but keep the
+	// DRAMChannels configuration echo.
+	dst.Merge(&src)
+	if dst.DRAMChannels != src.DRAMChannels {
+		t.Fatalf("DRAMChannels = %d after second merge, want %d", dst.DRAMChannels, src.DRAMChannels)
+	}
+	if dst.Ops != 2*src.Ops || dst.EngineEpochs != 2*src.EngineEpochs {
+		t.Fatal("second merge did not accumulate")
 	}
 }

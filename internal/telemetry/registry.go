@@ -244,6 +244,8 @@ func CountersRegistry(c *stats.Counters) *Registry {
 	r.Counter("dve_silent_corruptions_total", "reads that consumed corrupt data undetected", u(&c.SilentCorruptions))
 	r.Counter("dve_epochs_allow_total", "epochs spent in allow mode", u(&c.EpochsAllow))
 	r.Counter("dve_epochs_deny_total", "epochs spent in deny mode", u(&c.EpochsDeny))
+	r.Counter("sim_epochs_total", "parallel-engine lookahead windows executed (0 on the legacy engine)", u(&c.EngineEpochs))
+	r.Counter("sim_barrier_stalls_total", "partition-epochs idle at the barrier (load-imbalance signal)", u(&c.EngineBarrierStalls))
 	r.Histogram("dve_miss_latency_cycles", "LLC miss latency distribution",
 		func() *stats.Histogram { return &c.MissLatency })
 	return r
