@@ -5,21 +5,33 @@
 // DUEs only where the Section IV reliability model permits them. One JSON
 // RAS journal is written per run.
 //
+// The -hammer mode instead sweeps the adversarial RowHammer matrix
+// (attack intensity × scrub cadence × protection scheme), scores the
+// replica + scrub/repair defense ladder, and writes figure data; every
+// intensity-0 cell is also re-run with the aggressor machinery absent
+// entirely and the two journals must be byte-identical.
+//
 // Usage:
 //
 //	dvecampaign -seeds 3 -ops 50000 -out ras-journals
 //	dvecampaign -scenario socket-kill -seeds 5
 //	dvecampaign -list
+//	dvecampaign -hammer -intensities 0,0.4,0.7 -scrubs 2000,8000 -figure hammer.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"dve/internal/coherence"
+	"dve/internal/experiments"
 	"dve/internal/ras"
 	"dve/internal/results"
+	"dve/internal/topology"
 )
 
 func main() {
@@ -31,8 +43,35 @@ func main() {
 		scenario = flag.String("scenario", "", "run only the named scenario (default: all)")
 		verbose  = flag.Bool("v", false, "print per-run event and counter detail")
 		list     = flag.Bool("list", false, "list scenarios and exit")
+
+		hammer      = flag.Bool("hammer", false, "run the RowHammer sweep instead of the fault campaign")
+		intensities = flag.String("intensities", "0,0.4,0.7", "hammer: comma-separated aggressor intensities in [0,1)")
+		scrubs      = flag.String("scrubs", "2000,8000", "hammer: comma-separated scrub intervals (cycles)")
+		protocols   = flag.String("protocols", "baseline,deny", "hammer: comma-separated protection schemes")
+		figure      = flag.String("figure", "", "hammer: write sweep figure data to this JSON file")
+		hammerTh    = flag.Uint("hammer-threshold", 0, "hammer: activation threshold override (0 = campaign default)")
+		doubleSided = flag.Bool("double-sided", false, "hammer: bracket victim rows from both neighbours")
+		hworkload   = flag.String("workload", "fft", "hammer: victim workload")
 	)
 	flag.Parse()
+
+	var cache *results.Store
+	if *cacheDir != "" {
+		store, err := results.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache = store
+	}
+	if *hammer {
+		runHammer(hammerArgs{
+			seeds: *nseeds, ops: *ops, out: *out, cache: cache,
+			intensities: *intensities, scrubs: *scrubs, protocols: *protocols,
+			figure: *figure, threshold: uint32(*hammerTh),
+			doubleSided: *doubleSided, workload: *hworkload, verbose: *verbose,
+		})
+		return
+	}
 
 	scenarios := ras.DefaultScenarios()
 	if *list {
@@ -64,14 +103,8 @@ func main() {
 		MeasureOps: *ops,
 		Scenarios:  scenarios,
 		OutDir:     *out,
+		Cache:      cache,
 		Progress:   func(r ras.RunReport) { report(r, *verbose) },
-	}
-	if *cacheDir != "" {
-		store, err := results.Open(*cacheDir)
-		if err != nil {
-			fatal(err)
-		}
-		cc.Cache = store
 	}
 	res, err := ras.RunCampaign(cc)
 	if err != nil {
@@ -115,4 +148,178 @@ func report(r ras.RunReport, verbose bool) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dvecampaign:", err)
 	os.Exit(1)
+}
+
+type hammerArgs struct {
+	seeds       int
+	ops         uint64
+	out         string
+	cache       *results.Store
+	intensities string
+	scrubs      string
+	protocols   string
+	figure      string
+	threshold   uint32
+	doubleSided bool
+	workload    string
+	verbose     bool
+}
+
+// runHammer sweeps the adversarial matrix, prints the defense table, writes
+// figure data, and self-checks the disarmed path: every intensity-0 cell is
+// re-run with no hammer machinery at all and must journal byte-identically.
+func runHammer(a hammerArgs) {
+	intensities, err := parseFloats(a.intensities)
+	if err != nil {
+		fatal(fmt.Errorf("-intensities: %w", err))
+	}
+	scrubs, err := parseUints(a.scrubs)
+	if err != nil {
+		fatal(fmt.Errorf("-scrubs: %w", err))
+	}
+	protos, err := parseProtocols(a.protocols)
+	if err != nil {
+		fatal(fmt.Errorf("-protocols: %w", err))
+	}
+	seeds := make([]int64, a.seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	r := experiments.Runner{Cache: a.cache}
+	fig, err := r.HammerSweep(experiments.HammerSweepConfig{
+		Workload:    a.workload,
+		Intensities: intensities,
+		ScrubsCyc:   scrubs,
+		Protocols:   protos,
+		Seeds:       seeds,
+		MeasureOps:  a.ops,
+		DoubleSided: a.doubleSided,
+		Threshold:   a.threshold,
+		OutDir:      a.out,
+		Progress:    func(rr ras.RunReport) { report(rr, a.verbose) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s", experiments.FormatHammer(fig))
+	if a.figure != "" {
+		b, err := json.MarshalIndent(fig, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(a.figure, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("figure data: %s\n", a.figure)
+	}
+	mismatches, err := hammerTwinCheck(a, scrubs, protos, seeds)
+	if err != nil {
+		fatal(err)
+	}
+	if a.cache != nil {
+		fmt.Fprintf(os.Stderr, "dvecampaign: cache %s\n", a.cache.Stats())
+	}
+	if fig.Failures > 0 || mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// hammerTwinCheck reruns each intensity-0 cell with Hammer disabled
+// entirely (no source wrapper, no flip machinery, default thresholds) and
+// compares journals byte-for-byte: arming the defense at intensity 0 must
+// not perturb the simulation at all.
+func hammerTwinCheck(a hammerArgs, scrubs []uint64, protos []topology.Protocol, seeds []int64) (int, error) {
+	build := func(proto topology.Protocol, scrub uint64, armed bool) ras.Scenario {
+		sc := ras.Scenario{
+			Name:             fmt.Sprintf("twin-%s-scrub%d-armed%v", proto, scrub, armed),
+			Workload:         a.workload,
+			Protocol:         proto,
+			ScrubIntervalCyc: scrub,
+			ScrubBatch:       16,
+		}
+		if armed {
+			sc.Hammer = &ras.HammerScenario{Intensity: 0, DoubleSided: a.doubleSided}
+		}
+		return sc
+	}
+	mismatches := 0
+	for _, proto := range protos {
+		for _, scrub := range scrubs {
+			var journals [2][][]byte
+			for v, armed := range []bool{true, false} {
+				res, err := ras.RunCampaign(ras.CampaignConfig{
+					Seeds:      seeds,
+					MeasureOps: a.ops,
+					Scenarios:  []ras.Scenario{build(proto, scrub, armed)},
+					Cache:      a.cache,
+				})
+				if err != nil {
+					return 0, err
+				}
+				for _, run := range res.Runs {
+					b, err := run.Journal.Bytes()
+					if err != nil {
+						return 0, err
+					}
+					journals[v] = append(journals[v], b)
+				}
+			}
+			for i := range journals[0] {
+				if string(journals[0][i]) != string(journals[1][i]) {
+					mismatches++
+					fmt.Printf("TWIN MISMATCH: %s scrub=%d seed=%d: intensity-0 journal differs from no-hammer journal\n",
+						proto, scrub, seeds[i])
+				}
+			}
+		}
+	}
+	if mismatches == 0 {
+		fmt.Printf("twin check: %d intensity-0 cells byte-identical to unarmed runs\n",
+			len(protos)*len(scrubs)*len(seeds))
+	}
+	return mismatches, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseProtocols(s string) ([]topology.Protocol, error) {
+	known := []topology.Protocol{
+		topology.ProtoBaseline, topology.ProtoAllow, topology.ProtoDeny,
+		topology.ProtoDynamic, topology.ProtoIntelMirror,
+	}
+	var out []topology.Protocol
+next:
+	for _, f := range strings.Split(s, ",") {
+		name := strings.TrimSpace(f)
+		for _, p := range known {
+			if p.String() == name {
+				out = append(out, p)
+				continue next
+			}
+		}
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+	return out, nil
 }

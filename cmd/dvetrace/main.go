@@ -42,11 +42,16 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := trace.Capture(f, spec, *ops); err != nil {
+		cst, err := trace.Capture(f, spec, *ops)
+		if err != nil {
 			fatal(err)
 		}
 		st, _ := f.Stat()
-		fmt.Printf("captured %d ops of %s to %s (%d bytes)\n", *ops, *name, *record, st.Size())
+		fmt.Printf("captured %d ops of %s to %s (%d bytes)\n", cst.Ops, *name, *record, st.Size())
+		if cst.ClampedCompute > 0 {
+			fmt.Printf("warning: %d compute gaps exceeded the format's u16 field and were clamped to 65535;\n"+
+				"replays of this trace run less compute between accesses than the generator\n", cst.ClampedCompute)
+		}
 
 	case *info != "":
 		f, err := os.Open(*info)
@@ -58,7 +63,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var reads, writes, barriers uint64
+		var reads, writes, barriers, saturated uint64
 		perThread := map[uint8]uint64{}
 		for {
 			rec, err := tr.Next()
@@ -69,6 +74,11 @@ func main() {
 				fatal(err)
 			}
 			perThread[rec.Tid]++
+			if rec.Kind != workload.Barrier && rec.Compute == 0xFFFF {
+				// The format's compute field saturates at 0xFFFF, so records
+				// at the ceiling are (almost certainly) clamped captures.
+				saturated++
+			}
 			switch rec.Kind {
 			case workload.Read:
 				reads++
@@ -82,8 +92,8 @@ func main() {
 		if tr.Ops > 0 {
 			hdrOps = fmt.Sprintf("%d", tr.Ops)
 		}
-		fmt.Printf("threads: %d\nheader ops: %s\nreads:   %d\nwrites:  %d\nbarriers: %d\n",
-			tr.Threads, hdrOps, reads, writes, barriers)
+		fmt.Printf("threads: %d\nheader ops: %s\nreads:   %d\nwrites:  %d\nbarriers: %d\nsaturated compute gaps: %d\n",
+			tr.Threads, hdrOps, reads, writes, barriers, saturated)
 		for t := 0; t < tr.Threads; t++ {
 			fmt.Printf("  thread %2d: %d ops\n", t, perThread[uint8(t)])
 		}

@@ -27,8 +27,12 @@ func main() {
 		log.Fatal(err)
 	}
 	const ops = 400_000
-	if err := trace.Capture(f, spec, ops); err != nil {
+	cst, err := trace.Capture(f, spec, ops)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if cst.ClampedCompute > 0 {
+		fmt.Printf("note: %d compute gaps clamped to the format's u16 ceiling\n", cst.ClampedCompute)
 	}
 	f.Close()
 	st, _ := os.Stat(path)

@@ -114,6 +114,15 @@ func (d *HomeDir) Entry(l topology.Line) (state cache.State, owner int, sharers 
 // state.
 func (d *HomeDir) DegradedLines() int { return len(d.degraded) }
 
+// HasLine reports whether the directory has ever tracked the line — i.e.
+// some core actually touched it. Adversarial campaigns prefer placing
+// victim-row bitflips on tracked lines so the flips are observable by
+// demand reads instead of rotting on never-read addresses.
+func (d *HomeDir) HasLine(l topology.Line) bool {
+	_, ok := d.entries[l]
+	return ok
+}
+
 func (d *HomeDir) dbg(l topology.Line, format string, args ...any) {
 	if d.sys.DebugLog != nil && l == d.sys.DebugLine {
 		d.sys.DebugLog("[%d] dir%d "+format, append([]any{d.sys.Engs[d.socket].Now(), d.socket}, args...)...)

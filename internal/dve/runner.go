@@ -285,6 +285,9 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		res.Counters.RowHits += mc.RowHits
 		res.Counters.RowMisses += mc.RowMisses
 		res.Counters.DRAMBusyCycles += mc.BusyCycles
+		// Whole-run (HammeredRows survives the ROI reset): a crossing during
+		// warmup is still attack pressure the defenses must answer.
+		res.Counters.HammerCrossings += mc.HammeredRows
 	}
 	if pe != nil {
 		// Whole-run epoch accounting (deterministic: both are pure

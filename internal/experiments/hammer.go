@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dve/internal/ras"
+	"dve/internal/topology"
+)
+
+// RowHammer sweep: the adversarial campaign matrix (attack intensity ×
+// scrub cadence × protection scheme) rendered as figure data. Each cell is
+// one ras campaign scenario — aggressor reads interleaved into the victim
+// stream, threshold crossings flipping adjacent-row cells — and the columns
+// score the defense ladder: how fast flips are detected, how many corrupted
+// reads the machine served before the ladder caught up, and the repair
+// traffic the attack forced. The unreplicated baseline shows the undefended
+// outcome; the deny protocol shows what the replica + scrub ladder buys.
+
+// HammerSweepConfig shapes the matrix. Zero values select the standard
+// sweep: fft, intensities {0, 0.4, 0.7}, scrub intervals {2000, 8000},
+// protocols {baseline, deny}, one seed, campaign-scale runs.
+type HammerSweepConfig struct {
+	Workload    string
+	Intensities []float64
+	ScrubsCyc   []uint64
+	Protocols   []topology.Protocol
+	Seeds       []int64
+	MeasureOps  uint64
+	DoubleSided bool
+	// Threshold overrides the attack-time activation threshold
+	// (0 = the campaign default; see ras.HammerScenario).
+	Threshold uint32
+	// OutDir, when non-empty, receives the per-run RAS journals.
+	OutDir string
+	// Progress, when set, observes each completed run.
+	Progress func(ras.RunReport)
+}
+
+func (hc *HammerSweepConfig) normalize() {
+	if hc.Workload == "" {
+		hc.Workload = "fft"
+	}
+	if hc.Intensities == nil {
+		hc.Intensities = []float64{0, 0.4, 0.7}
+	}
+	if hc.ScrubsCyc == nil {
+		hc.ScrubsCyc = []uint64{2_000, 8_000}
+	}
+	if hc.Protocols == nil {
+		hc.Protocols = []topology.Protocol{topology.ProtoBaseline, topology.ProtoDeny}
+	}
+	if hc.Seeds == nil {
+		hc.Seeds = []int64{1}
+	}
+	if hc.MeasureOps == 0 {
+		hc.MeasureOps = 50_000
+	}
+}
+
+// HammerCell is one matrix cell, counters summed across seeds.
+type HammerCell struct {
+	Scenario  string  `json:"scenario"`
+	Protocol  string  `json:"protocol"`
+	Intensity float64 `json:"intensity"`
+	ScrubCyc  uint64  `json:"scrub_cyc"`
+
+	Crossings    uint64 `json:"crossings"`
+	Flips        uint64 `json:"flips"`
+	Detected     uint64 `json:"detected"`
+	CorruptReads uint64 `json:"corrupt_reads"`
+	Repairs      uint64 `json:"repairs"`
+	// DetectLatencyAvg is mean cycles from flip injection to first
+	// detection, over the flips that were detected (0 when none were).
+	DetectLatencyAvg float64 `json:"detect_latency_avg"`
+	// Cycles sums run lengths across seeds; Slowdown is relative to the
+	// intensity-0 cell of the same protocol and scrub cadence (how much the
+	// attack itself costs the victim).
+	Cycles   uint64  `json:"cycles"`
+	Slowdown float64 `json:"slowdown"`
+	// Violations aggregates failed campaign assertions across seeds.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// HammerFigure is the sweep's figure data, deterministic for fixed config.
+type HammerFigure struct {
+	Workload   string       `json:"workload"`
+	MeasureOps uint64       `json:"measure_ops"`
+	Seeds      []int64      `json:"seeds"`
+	Cells      []HammerCell `json:"cells"`
+	Failures   int          `json:"failures"`
+}
+
+// hammerScenarioName is the campaign scenario (and journal file) name for a
+// cell; intensity is encoded in percent so the name stays filesystem-safe.
+func hammerScenarioName(proto topology.Protocol, intensity float64, scrub uint64) string {
+	return fmt.Sprintf("hammer-%s-i%03d-scrub%d", proto, int(intensity*100+0.5), scrub)
+}
+
+// HammerSweep runs the matrix through the RAS campaign (serving repeated
+// cells from the runner's cache) and aggregates per-cell defense scores.
+func (r Runner) HammerSweep(hc HammerSweepConfig) (*HammerFigure, error) {
+	hc.normalize()
+	var scenarios []ras.Scenario
+	for _, proto := range hc.Protocols {
+		for _, intensity := range hc.Intensities {
+			for _, scrub := range hc.ScrubsCyc {
+				scenarios = append(scenarios, ras.Scenario{
+					Name:             hammerScenarioName(proto, intensity, scrub),
+					Workload:         hc.Workload,
+					Protocol:         proto,
+					ScrubIntervalCyc: scrub,
+					ScrubBatch:       16,
+					Hammer: &ras.HammerScenario{
+						Intensity:   intensity,
+						DoubleSided: hc.DoubleSided,
+						Threshold:   hc.Threshold,
+					},
+					// An attacked machine may serve detected-uncorrectable
+					// reads (that is the phenomenon under measurement: always
+					// for the unreplicated baseline, and for Dvé when both
+					// copies flip within one scrub interval). SDC stays
+					// forbidden. Intensity-0 cells revert to the strict model.
+					AllowDUE: intensity > 0,
+				})
+			}
+		}
+	}
+	res, err := ras.RunCampaign(ras.CampaignConfig{
+		Seeds:      hc.Seeds,
+		MeasureOps: hc.MeasureOps,
+		Scenarios:  scenarios,
+		OutDir:     hc.OutDir,
+		Cache:      r.Cache,
+		Progress:   hc.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byName := make(map[string]*HammerCell)
+	fig := &HammerFigure{
+		Workload:   hc.Workload,
+		MeasureOps: hc.MeasureOps,
+		Seeds:      hc.Seeds,
+		// Cells is pre-sized so the byName pointers below stay valid.
+		Cells:    make([]HammerCell, 0, len(scenarios)),
+		Failures: res.Failures,
+	}
+	for _, proto := range hc.Protocols {
+		for _, intensity := range hc.Intensities {
+			for _, scrub := range hc.ScrubsCyc {
+				name := hammerScenarioName(proto, intensity, scrub)
+				fig.Cells = append(fig.Cells, HammerCell{
+					Scenario:  name,
+					Protocol:  proto.String(),
+					Intensity: intensity,
+					ScrubCyc:  scrub,
+				})
+				byName[name] = &fig.Cells[len(fig.Cells)-1]
+			}
+		}
+	}
+	latency := make(map[string]uint64)
+	for _, run := range res.Runs {
+		cell, ok := byName[run.Scenario]
+		if !ok {
+			continue
+		}
+		c := &run.Counters
+		cell.Crossings += c.HammerCrossings
+		cell.Flips += c.HammerFlips
+		cell.Detected += c.HammerDetected
+		cell.CorruptReads += c.HammerCorruptReads
+		cell.Repairs += c.HammerRepairs
+		cell.Cycles += run.Cycles
+		latency[run.Scenario] += c.HammerDetectLatency
+		cell.Violations = append(cell.Violations, run.Violations...)
+	}
+	for i := range fig.Cells {
+		cell := &fig.Cells[i]
+		if cell.Detected > 0 {
+			cell.DetectLatencyAvg = float64(latency[cell.Scenario]) / float64(cell.Detected)
+		}
+		base := byName[hammerScenarioName(
+			protoByName(cell.Protocol), 0, cell.ScrubCyc)]
+		if base != nil && base.Cycles > 0 {
+			cell.Slowdown = float64(cell.Cycles) / float64(base.Cycles)
+		}
+	}
+	return fig, nil
+}
+
+// protoByName maps a cell's stored protocol string back to the enum (the
+// sweep only ever stores strings it produced itself, so a miss is a bug).
+func protoByName(s string) topology.Protocol {
+	for _, p := range []topology.Protocol{
+		topology.ProtoBaseline, topology.ProtoAllow, topology.ProtoDeny,
+		topology.ProtoDynamic, topology.ProtoIntelMirror,
+	} {
+		if p.String() == s {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown protocol name %q", s))
+}
+
+// FormatHammer renders the sweep as a text table.
+func FormatHammer(f *HammerFigure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RowHammer campaign: %s, %d ops, seeds %v (corrupt = DUE reads served while a flip was live)\n",
+		f.Workload, f.MeasureOps, f.Seeds)
+	fmt.Fprintf(&b, "%-10s %9s %9s %10s %6s %8s %8s %8s %12s %9s\n",
+		"scheme", "intensity", "scrub", "crossings", "flips", "detect", "corrupt", "repairs", "latency(cyc)", "slowdown")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-10s %9.2f %9d %10d %6d %8d %8d %8d %12.0f %9.3f\n",
+			c.Protocol, c.Intensity, c.ScrubCyc, c.Crossings, c.Flips,
+			c.Detected, c.CorruptReads, c.Repairs, c.DetectLatencyAvg, c.Slowdown)
+	}
+	if f.Failures > 0 {
+		fmt.Fprintf(&b, "%d runs failed campaign assertions\n", f.Failures)
+	}
+	return b.String()
+}

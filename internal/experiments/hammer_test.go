@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dve/internal/results"
+	"dve/internal/topology"
+)
+
+func testStore(t *testing.T) *results.Store {
+	t.Helper()
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func quickHammerConfig() HammerSweepConfig {
+	return HammerSweepConfig{
+		Intensities: []float64{0, 0.4},
+		ScrubsCyc:   []uint64{2_000},
+		MeasureOps:  20_000,
+	}
+}
+
+// TestQuickScalePinned guards the value internal/ras mirrors as
+// quickMeasureOps (it cannot import this package without a cycle).
+func TestQuickScalePinned(t *testing.T) {
+	if Quick.MeasureOps != 120_000 {
+		t.Fatalf("Quick.MeasureOps=%d; update internal/ras quickMeasureOps to match", Quick.MeasureOps)
+	}
+}
+
+func TestHammerSweepScoresDefense(t *testing.T) {
+	r := Runner{Cache: testStore(t)}
+	fig, err := r.HammerSweep(quickHammerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != 4 {
+		t.Fatalf("%d cells, want 4 (2 protocols x 2 intensities x 1 scrub)", len(fig.Cells))
+	}
+	if fig.Failures > 0 {
+		t.Fatalf("%d campaign failures: %+v", fig.Failures, fig.Cells)
+	}
+	byKey := map[string]HammerCell{}
+	for _, c := range fig.Cells {
+		byKey[c.Scenario] = c
+	}
+	base := byKey[hammerScenarioName(topology.ProtoBaseline, 0.4, 2_000)]
+	deny := byKey[hammerScenarioName(topology.ProtoDeny, 0.4, 2_000)]
+	if base.Crossings == 0 || base.Flips == 0 {
+		t.Fatalf("unreplicated attack never landed: %+v", base)
+	}
+	if base.CorruptReads == 0 {
+		t.Fatalf("unreplicated machine served no corrupted reads: %+v", base)
+	}
+	if deny.CorruptReads >= base.CorruptReads {
+		t.Fatalf("replication did not reduce corrupted reads: deny=%d baseline=%d",
+			deny.CorruptReads, base.CorruptReads)
+	}
+	if base.Slowdown <= 1 {
+		t.Fatalf("attack cost the victim nothing: slowdown=%v", base.Slowdown)
+	}
+	for _, c := range fig.Cells {
+		if c.Intensity == 0 && (c.Crossings != 0 || c.Flips != 0 || c.Slowdown != 1) {
+			t.Fatalf("intensity-0 cell not quiescent: %+v", c)
+		}
+	}
+}
+
+func TestHammerSweepFigureDeterministic(t *testing.T) {
+	marshal := func() []byte {
+		t.Helper()
+		r := Runner{Cache: testStore(t)}
+		fig, err := r.HammerSweep(quickHammerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(fig, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := marshal(), marshal(); string(a) != string(b) {
+		t.Fatal("two identical sweeps produced different figure JSON")
+	}
+}

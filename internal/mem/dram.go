@@ -54,6 +54,13 @@ type Controller struct {
 	refreshTicks uint64
 	hammer       []map[uint64]uint32
 
+	// OnHammer, when set, fires the first time a row's activation count
+	// crosses the hammer threshold within a refresh window (once per row
+	// per window; the window clear re-arms it). The coordinate's Channel is
+	// the channel that actually served the activation. Adversarial
+	// campaigns subscribe here to inject bitflips into adjacent rows.
+	OnHammer func(co topology.DRAMCoord)
+
 	// dead marks a killed controller (socket-level RAS event): every read
 	// fails its ECC check and writes are acknowledged but dropped.
 	dead bool

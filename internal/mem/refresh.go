@@ -22,10 +22,20 @@ const (
 	ticksPerREFW = 8192
 )
 
-// RowHammerThreshold is the per-row activation count within one refresh
-// window beyond which the row is flagged (a deliberately low, simulation-
-// friendly analogue of the ~50K real-device threshold).
+// RowHammerThreshold is the default per-row activation count within one
+// refresh window beyond which the row is flagged (a deliberately low,
+// simulation-friendly analogue of the ~50K real-device threshold).
+// topology.Config.RowHammerThreshold overrides it per run.
 const RowHammerThreshold = 2048
+
+// hammerThreshold returns the active threshold: the config override, or the
+// package default.
+func (mc *Controller) hammerThreshold() uint32 {
+	if t := mc.cfg.RowHammerThreshold; t > 0 {
+		return t
+	}
+	return RowHammerThreshold
+}
 
 // EnableRefresh starts periodic refresh on every channel: every tREFI the
 // controller stalls all banks of the channel for tRFC and clears the
@@ -82,17 +92,34 @@ func (mc *Controller) EnableRefresh() {
 
 // noteActivate records a row activation for row-hammer tracking. It reports
 // whether the row has crossed the hammer threshold in this refresh window.
+// The exact-equality crossing fires OnHammer at most once per row per
+// refresh window: further activations keep counting but do not re-fire, and
+// the window clear in the refresh tick re-arms the row.
 func (mc *Controller) noteActivate(ch int, co topology.DRAMCoord) bool {
 	if !mc.refreshOn || mc.hammer == nil {
 		return false
 	}
 	key := uint64(co.Bank)<<48 | co.Row
 	mc.hammer[ch][key]++
-	if mc.hammer[ch][key] == RowHammerThreshold {
+	if mc.hammer[ch][key] == mc.hammerThreshold() {
 		mc.HammeredRows++
+		if mc.OnHammer != nil {
+			co.Channel = ch
+			mc.OnHammer(co)
+		}
 		return true
 	}
-	return mc.hammer[ch][key] > RowHammerThreshold
+	return mc.hammer[ch][key] > mc.hammerThreshold()
+}
+
+// ActivationsInWindow returns a row's activation count so far in the
+// current refresh window (0 when refresh tracking is off). Campaign tests
+// use it to audit where aggressor activations actually landed.
+func (mc *Controller) ActivationsInWindow(co topology.DRAMCoord) uint32 {
+	if !mc.refreshOn || mc.hammer == nil {
+		return 0
+	}
+	return mc.hammer[co.Channel][uint64(co.Bank)<<48|co.Row]
 }
 
 // HammerRisk reports whether an address's row is currently beyond the
@@ -103,5 +130,5 @@ func (mc *Controller) HammerRisk(a topology.Addr) bool {
 	}
 	co := mc.amap.Decode(a)
 	key := uint64(co.Bank)<<48 | co.Row
-	return mc.hammer[co.Channel][key] >= RowHammerThreshold
+	return mc.hammer[co.Channel][key] >= mc.hammerThreshold()
 }

@@ -37,11 +37,34 @@ type Scenario struct {
 	// Scrubbing (0 = off) drives background repair of latent faults.
 	ScrubIntervalCyc uint64
 	ScrubBatch       int
+	// Hammer arms an adversarial RowHammer campaign: the workload's stream
+	// is interleaved with aggressor reads and threshold crossings inject
+	// victim-row bitflips (see hammer.go). Intensity 0 keeps the defense
+	// armed but launches no attack — the run is then byte-identical to the
+	// same scenario without Hammer at all.
+	Hammer *HammerScenario
 	// AllowDUE marks scenarios where the Section IV reliability model
 	// permits data loss (no replica, or coincident failures within a scrub
 	// interval); the campaign then tolerates DetectedUncorrect > 0 but
 	// still demands zero SDC.
 	AllowDUE bool
+}
+
+// HammerScenario shapes one adversarial campaign cell.
+type HammerScenario struct {
+	// Intensity is the aggressor-read fraction of the issued stream,
+	// in [0, 1). 0 disarms the attack entirely.
+	Intensity float64
+	// DoubleSided hammers victim rows from both neighbours.
+	DoubleSided bool
+	// Threshold overrides the controllers' per-window activation threshold
+	// while the attack is live (0 = 64, reachable at campaign op counts).
+	// Intensity-0 cells keep the package default, which campaign-scale
+	// victim workloads never reach — so a zero-intensity run's journal is
+	// byte-identical to an unattacked run's.
+	Threshold uint32
+	// FlipsPerRow caps injected flips per victim row per crossing (0 = 4).
+	FlipsPerRow int
 }
 
 func (sc *Scenario) code() fault.LocalCode {
@@ -183,8 +206,17 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 		return nil, fmt.Errorf("unknown workload %q", sc.Workload)
 	}
 	// The campaign seed fully determines the run: it reseeds the workload
-	// generator and (salted with the scenario index) the fault injector.
+	// generator and (salted with the scenario index) the fault injector and
+	// aggressor interleaving.
 	spec.Seed = seed
+
+	if sc.Hammer != nil && sc.Hammer.Intensity > 0 {
+		th := sc.Hammer.Threshold
+		if th == 0 {
+			th = 64
+		}
+		cfg.RowHammerThreshold = th
+	}
 
 	set := fault.NewSet(&cfg, sc.code())
 	ec := EngineConfig{Static: sc.Static, KillSocket: -1}
@@ -197,23 +229,37 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 		ec.KillSocket = sc.KillSocket
 		ec.KillAtCyc = sc.KillAtCyc
 	}
+	runCfg := dve.RunConfig{
+		Cfg:              cfg,
+		MeasureOps:       cc.MeasureOps,
+		Faults:           set,
+		ScrubIntervalCyc: sc.ScrubIntervalCyc,
+		ScrubBatch:       sc.ScrubBatch,
+	}
+	if sc.Hammer != nil {
+		src, err := workload.NewHammerSource(workload.HammerSpec{
+			Victim:      spec,
+			Intensity:   sc.Hammer.Intensity,
+			DoubleSided: sc.Hammer.DoubleSided,
+			Seed:        seed*2_750_159 + int64(scenarioIdx),
+		}, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		runCfg.Source = src
+		ec.Hammer = &HammerConfig{FlipsPerRow: sc.Hammer.FlipsPerRow}
+	}
 	eng := NewEngine(ec, set)
+	runCfg.Prepare = eng.Attach
 
 	// Every fresh run carries a recorder-only tracer (no trace-event
 	// buffering): probes only observe, so journal byte-identity across
 	// repeated runs is preserved, and when an assertion fails below the
 	// recent protocol timeline is already in hand.
 	tracer := telemetry.NewTracer(telemetry.Options{FlightRecorderLines: 256})
+	runCfg.Telemetry = tracer
 
-	res, err := dve.Run(spec, dve.RunConfig{
-		Cfg:              cfg,
-		MeasureOps:       cc.MeasureOps,
-		Faults:           set,
-		Prepare:          eng.Attach,
-		ScrubIntervalCyc: sc.ScrubIntervalCyc,
-		ScrubBatch:       sc.ScrubBatch,
-		Telemetry:        tracer,
-	})
+	res, err := dve.Run(spec, runCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +293,9 @@ func runOne(cc *CampaignConfig, sc *Scenario, scenarioIdx int, seed int64) (*Run
 		if res.Cycles == 0 {
 			rep.Violations = append(rep.Violations, "run did not finish its ROI after the kill")
 		}
+	}
+	if sc.Hammer != nil && sc.Hammer.Intensity > 0 && c.HammerCrossings == 0 {
+		rep.Violations = append(rep.Violations, "hammer attack never crossed the activation threshold")
 	}
 
 	if cc.Cache != nil {

@@ -7,10 +7,14 @@ import (
 	"reflect"
 	"testing"
 
-	"dve/internal/experiments"
 	"dve/internal/fault"
 	"dve/internal/topology"
 )
+
+// quickMeasureOps mirrors experiments.Quick.MeasureOps (the experiments
+// package now layers its hammer sweep on ras, so importing it from here
+// would be a cycle); experiments pins the value with a test.
+const quickMeasureOps = 120_000
 
 // TestJournalFilesByteIdentical is the on-disk counterpart of
 // TestCampaignDeterminism: it runs one campaign scenario twice with the
@@ -96,7 +100,7 @@ func TestQuickScaleRunTwiceByteIdentical(t *testing.T) {
 	}
 	run := func(dir string) outcome {
 		res, err := RunCampaign(CampaignConfig{
-			Seeds: []int64{7}, MeasureOps: experiments.Quick.MeasureOps,
+			Seeds: []int64{7}, MeasureOps: quickMeasureOps,
 			Scenarios: []Scenario{sc}, OutDir: dir,
 		})
 		if err != nil {

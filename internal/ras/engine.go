@@ -20,6 +20,9 @@ type EngineConfig struct {
 	KillSocket int
 	// KillAtCyc is the simulated cycle of the kill.
 	KillAtCyc uint64
+	// Hammer, when set, wires RowHammer threshold crossings to victim-row
+	// bitflip injection and the defense-ladder scorer (see hammer.go).
+	Hammer *HammerConfig
 }
 
 // Engine attaches the RAS machinery to one simulation run: it journals
@@ -40,6 +43,8 @@ type Engine struct {
 
 	// Inj is the dynamic injector, if armed.
 	Inj *Injector
+	// Hammer is the RowHammer flip/defense state, if armed.
+	Hammer *HammerState
 
 	amap      *topology.AddrMap
 	sparePage uint64
@@ -78,6 +83,10 @@ func (e *Engine) Attach(sys *coherence.System) {
 	if e.cfg.Inject != nil {
 		e.Inj = NewInjector(*e.cfg.Inject, sys.Engs[0], e.set, sys.Cfg, e.Journal.Append)
 		e.Inj.Start()
+	}
+	if e.cfg.Hammer != nil {
+		e.Hammer = newHammerState(*e.cfg.Hammer, sys, e.set, e.Journal.Append)
+		e.Hammer.attach()
 	}
 	if e.cfg.KillSocket >= 0 {
 		socket := e.cfg.KillSocket

@@ -49,7 +49,10 @@ import (
 // the partitioned per-socket engine orders cross-socket ties by the mailbox
 // merge rule instead of the legacy global sequence, so the two engines are
 // distinct statistics universes and must never share cache entries.
-const SchemaVersion = 3
+// History: 4 — stats.Counters grew the RowHammer defense scores and RAS
+// scenarios grew the Hammer arm; cached counter payloads from earlier
+// schemas would deserialise with silently-zero hammer columns.
+const SchemaVersion = 4
 
 // Key is a content-address: the stable hash of a result's full input set.
 type Key string

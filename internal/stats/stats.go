@@ -62,6 +62,15 @@ type Counters struct {
 	DemotedLines      uint64 // lines demoted to unreplicated mode by a kill
 	SilentCorruptions uint64 // undetected corrupt reads (CodeNone only)
 
+	// Adversarial RowHammer campaign accounting (attack pressure vs. the
+	// replica + scrub/repair defense ladder).
+	HammerCrossings     uint64 // rows whose activation count crossed the threshold in a window
+	HammerFlips         uint64 // bitflips injected into victim rows
+	HammerDetected      uint64 // injected flips first detected by a read or scrub
+	HammerDetectLatency uint64 // summed inject-to-first-detect cycles over detected flips
+	HammerCorruptReads  uint64 // detected-uncorrectable reads of hammer-flipped lines (served corrupt when unreplicated)
+	HammerRepairs       uint64 // hammer-flipped lines healed by a verified repair write
+
 	// Dynamic protocol profile decisions.
 	EpochsAllow, EpochsDeny uint64
 
@@ -127,6 +136,12 @@ func (c *Counters) Merge(o *Counters) {
 	c.SocketKills += o.SocketKills
 	c.DemotedLines += o.DemotedLines
 	c.SilentCorruptions += o.SilentCorruptions
+	c.HammerCrossings += o.HammerCrossings
+	c.HammerFlips += o.HammerFlips
+	c.HammerDetected += o.HammerDetected
+	c.HammerDetectLatency += o.HammerDetectLatency
+	c.HammerCorruptReads += o.HammerCorruptReads
+	c.HammerRepairs += o.HammerRepairs
 	c.EpochsAllow += o.EpochsAllow
 	c.EpochsDeny += o.EpochsDeny
 	c.EngineEpochs += o.EngineEpochs

@@ -242,6 +242,12 @@ func CountersRegistry(c *stats.Counters) *Registry {
 	r.Counter("dve_socket_kills_total", "memory-controller kill events", u(&c.SocketKills))
 	r.Counter("dve_demoted_lines_total", "lines demoted out of replication", u(&c.DemotedLines))
 	r.Counter("dve_silent_corruptions_total", "reads that consumed corrupt data undetected", u(&c.SilentCorruptions))
+	r.Counter("dve_hammer_crossings_total", "rows whose activation count crossed the hammer threshold", u(&c.HammerCrossings))
+	r.Counter("dve_hammer_flips_total", "bitflips injected into hammered victim rows", u(&c.HammerFlips))
+	r.Counter("dve_hammer_detected_total", "hammer flips first detected by a read or scrub", u(&c.HammerDetected))
+	r.Counter("dve_hammer_detect_latency_cycles_total", "summed inject-to-first-detect cycles", u(&c.HammerDetectLatency))
+	r.Counter("dve_hammer_corrupt_reads_total", "detected-uncorrectable reads of hammer-flipped lines", u(&c.HammerCorruptReads))
+	r.Counter("dve_hammer_repairs_total", "hammer flips healed by a verified repair", u(&c.HammerRepairs))
 	r.Counter("dve_epochs_allow_total", "epochs spent in allow mode", u(&c.EpochsAllow))
 	r.Counter("dve_epochs_deny_total", "epochs spent in deny mode", u(&c.EpochsDeny))
 	r.Counter("sim_epochs_total", "parallel-engine lookahead windows executed (0 on the legacy engine)", u(&c.EngineEpochs))

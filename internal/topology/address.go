@@ -75,6 +75,23 @@ type DRAMCoord struct {
 	Row     uint64
 }
 
+// AdjacentRows returns the DRAM coordinates physically adjacent to co in
+// its bank — the row-hammer victim rows (Row-1 and Row+1 on the same
+// channel and bank). Row 0 has a single neighbour.
+func AdjacentRows(co DRAMCoord) []DRAMCoord {
+	out := make([]DRAMCoord, 0, 2)
+	if co.Row > 0 {
+		out = append(out, DRAMCoord{Channel: co.Channel, Bank: co.Bank, Row: co.Row - 1})
+	}
+	out = append(out, DRAMCoord{Channel: co.Channel, Bank: co.Bank, Row: co.Row + 1})
+	return out
+}
+
+// RowLines returns the number of cache lines a DRAM row buffer holds.
+func (m *AddrMap) RowLines() int {
+	return m.cfg.RowBufferBytes / m.cfg.LineSizeBytes
+}
+
 // Decode maps an address to its DRAM coordinates within its home socket.
 // The socket selection bit (page interleaving) is stripped first so that
 // each socket's DRAM uses its full channel/bank space — otherwise the
@@ -100,4 +117,25 @@ func (m *AddrMap) Decode(a Addr) DRAMCoord {
 	bank := int(rowIdx % uint64(c.BanksPerRank))
 	row := rowIdx / uint64(c.BanksPerRank)
 	return DRAMCoord{Channel: ch, Bank: bank, Row: row}
+}
+
+// Encode is the inverse of Decode: it maps a socket, a DRAM coordinate and
+// a line slot within the row buffer back to the (line-aligned) physical
+// address of that cell. Row-hammer modeling uses it to turn a victim row
+// (an adjacent row of a hammered coordinate) into concrete addresses whose
+// reads then consult the fault model. For every address a,
+// Encode(HomeSocket(a), Decode(a), slot) enumerates the lines sharing a's
+// row, and Decode(Encode(s, co, i)) == co with HomeSocket == s.
+func (m *AddrMap) Encode(socket int, co DRAMCoord, lineInRow int) Addr {
+	c := m.cfg
+	rowUnit := uint64(c.RowBufferBytes / c.LineSizeBytes)
+	rowIdx := co.Row*uint64(c.BanksPerRank) + uint64(co.Bank)
+	line := rowIdx*rowUnit + uint64(lineInRow)
+	if c.ChannelsPerSkt > 1 {
+		line = line*uint64(c.ChannelsPerSkt) + uint64(co.Channel)
+	}
+	local := line * uint64(c.LineSizeBytes)
+	page := local / uint64(c.PageBytes)
+	off := local % uint64(c.PageBytes)
+	return Addr((page*uint64(c.Sockets)+uint64(socket))*uint64(c.PageBytes) + off)
 }

@@ -113,6 +113,12 @@ type Config struct {
 	// directory and row-hammer tracking structures — capacity hints never
 	// change simulated behaviour. 0 means no hint.
 	FootprintHintLines int
+
+	// RowHammerThreshold overrides the per-row activation count within one
+	// refresh window at which the memory controller flags the row as
+	// hammered (0 = the package mem default). Adversarial campaigns lower
+	// it so threshold crossings are reachable at simulation op counts.
+	RowHammerThreshold uint32
 }
 
 // Default returns the Table II configuration with the given protocol.

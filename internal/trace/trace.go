@@ -199,16 +199,34 @@ func (tr *Reader) Next() (Record, error) {
 	}, nil
 }
 
+// CaptureStats reports what a Capture wrote and how faithfully.
+type CaptureStats struct {
+	// Ops is the number of records written.
+	Ops uint64
+	// ClampedCompute counts records whose compute gap exceeded the format's
+	// u16 field and was saturated to 0xFFFF. A nonzero count means a replay
+	// runs hotter (less compute between accesses) than the generator; tools
+	// surface it so the loss is never silent.
+	ClampedCompute uint64
+}
+
 // Capture materialises ops operations of a synthetic workload into a trace,
-// issuing threads round-robin (the global order replay will preserve).
-func Capture(w io.Writer, spec workload.Spec, ops uint64) error {
+// issuing threads round-robin (the global order replay will preserve). It
+// requires ops >= spec.Threads: fewer would leave some thread with no
+// records, producing a trace Load rejects.
+func Capture(w io.Writer, spec workload.Spec, ops uint64) (CaptureStats, error) {
+	var st CaptureStats
+	if ops < uint64(spec.Threads) {
+		return st, fmt.Errorf("trace: %d ops cover only %d of %d threads; capture at least one op per thread (ops >= threads)",
+			ops, ops, spec.Threads)
+	}
 	gen, err := workload.NewGenerator(spec)
 	if err != nil {
-		return err
+		return st, err
 	}
 	tw, err := NewWriter(w, spec.Threads)
 	if err != nil {
-		return err
+		return st, err
 	}
 	tid := 0
 	for i := uint64(0); i < ops; i++ {
@@ -216,6 +234,7 @@ func Capture(w io.Writer, spec workload.Spec, ops uint64) error {
 		comp := op.Compute
 		if comp > 0xFFFF {
 			comp = 0xFFFF
+			st.ClampedCompute++
 		}
 		if err := tw.Write(Record{
 			Kind:    op.Kind,
@@ -223,13 +242,14 @@ func Capture(w io.Writer, spec workload.Spec, ops uint64) error {
 			Compute: uint16(comp),
 			Addr:    op.Addr,
 		}); err != nil {
-			return err
+			return st, err
 		}
 		tid = (tid + 1) % spec.Threads
 	}
+	st.Ops = tw.Ops()
 	// Close fixes up the header's op count when w can seek (files), so
 	// tools can size replays without scanning the whole trace.
-	return tw.Close()
+	return st, tw.Close()
 }
 
 // Source adapts a fully loaded trace into per-thread streams for the
@@ -270,7 +290,7 @@ func Load(r io.Reader) (*Source, error) {
 	}
 	for t, ops := range s.perThread {
 		if len(ops) == 0 {
-			return nil, fmt.Errorf("trace: thread %d has no operations", t)
+			return nil, fmt.Errorf("trace: thread %d has no operations (re-capture with ops >= threads so every thread gets at least one record)", t)
 		}
 	}
 	return s, nil

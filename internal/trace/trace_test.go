@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	idve "dve/internal/dve"
@@ -104,7 +106,7 @@ func TestReaderRejectsBadKind(t *testing.T) {
 func TestCaptureLoadReplayMatchesGenerator(t *testing.T) {
 	spec, _ := workload.ByName("fft", 4)
 	var buf bytes.Buffer
-	if err := Capture(&buf, spec, 4000); err != nil {
+	if _, err := Capture(&buf, spec, 4000); err != nil {
 		t.Fatal(err)
 	}
 	src, err := Load(bytes.NewReader(buf.Bytes()))
@@ -131,7 +133,7 @@ func TestCaptureLoadReplayMatchesGenerator(t *testing.T) {
 func TestSourceWraps(t *testing.T) {
 	spec, _ := workload.ByName("lu", 2)
 	var buf bytes.Buffer
-	if err := Capture(&buf, spec, 10); err != nil {
+	if _, err := Capture(&buf, spec, 10); err != nil {
 		t.Fatal(err)
 	}
 	src, err := Load(bytes.NewReader(buf.Bytes()))
@@ -153,8 +155,120 @@ func TestLoadRejectsEmptyThread(t *testing.T) {
 	tw, _ := NewWriter(&buf, 2)
 	tw.Write(Record{Kind: workload.Read, Tid: 0, Addr: 64})
 	tw.Flush()
-	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+	_, err := Load(bytes.NewReader(buf.Bytes()))
+	if err == nil {
 		t.Fatal("trace with an empty thread accepted")
+	}
+	if !strings.Contains(err.Error(), "re-capture") {
+		t.Fatalf("error %q does not name the remedy", err)
+	}
+}
+
+// Capture must refuse up front to write a trace that Load would reject:
+// fewer ops than threads leaves at least one thread with no records.
+func TestCaptureRejectsFewerOpsThanThreads(t *testing.T) {
+	spec, _ := workload.ByName("fft", 4)
+	var buf bytes.Buffer
+	_, err := Capture(&buf, spec, 3)
+	if err == nil {
+		t.Fatal("under-length capture accepted")
+	}
+	if !strings.Contains(err.Error(), "ops >= threads") {
+		t.Fatalf("error %q does not name the remedy", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes written before the rejection", buf.Len())
+	}
+}
+
+// A spec whose compute gaps exceed the format's u16 field must report the
+// clamps instead of silently flattening the trace's compute density.
+func TestCaptureReportsClampedCompute(t *testing.T) {
+	spec := workload.Spec{
+		Name: "hot", Threads: 2, FootprintMB: 16,
+		PrivFrac: 0.5, SharedROFrac: 0.4, Locality: 0.5,
+		ComputePerOp: 60_000, // draws up to 120_000 > 0xFFFF
+		Seed:         7,
+	}
+	var buf bytes.Buffer
+	st, err := Capture(&buf, spec, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 2000 {
+		t.Fatalf("Ops = %d, want 2000", st.Ops)
+	}
+	if st.ClampedCompute == 0 {
+		t.Fatal("no clamps reported for a spec with >u16 compute gaps")
+	}
+	// Every clamped record reads back at exactly the ceiling.
+	src, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceil := 0
+	for tid := 0; tid < 2; tid++ {
+		for i := 0; i < src.Len(tid); i++ {
+			if op := src.Next(tid); op.Compute == 0xFFFF {
+				ceil++
+			}
+		}
+	}
+	if uint64(ceil) < st.ClampedCompute {
+		t.Fatalf("%d records at the ceiling, but %d clamps reported", ceil, st.ClampedCompute)
+	}
+	// A clamp-free spec reports zero.
+	clean, _ := workload.ByName("fft", 2)
+	var buf2 bytes.Buffer
+	st2, err := Capture(&buf2, clean, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ClampedCompute != 0 {
+		t.Fatalf("clamp-free capture reported %d clamps", st2.ClampedCompute)
+	}
+}
+
+// Regression for the silent-clamp bug: a clamp-free capture replayed through
+// the simulator must reproduce the live generator run's protocol counters
+// exactly. Both runs are pinned to the legacy engine (an external Source
+// forces it anyway; pinning the live side keeps the two in one statistics
+// universe).
+func TestReplayCountersMatchLive(t *testing.T) {
+	spec, _ := workload.ByName("stencil", 16)
+	var buf bytes.Buffer
+	st, err := Capture(&buf, spec, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ClampedCompute != 0 {
+		t.Fatalf("capture clamped %d compute gaps; pick a cooler workload", st.ClampedCompute)
+	}
+	src, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := idve.RunConfig{
+		Cfg:        topology.Default(topology.ProtoDeny),
+		WarmupOps:  20_000,
+		MeasureOps: 60_000,
+		Engine:     idve.EngineLegacy,
+	}
+	live, err := idve.Run(spec, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Source = src
+	replay, err := idve.Run(spec, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Cycles != replay.Cycles {
+		t.Fatalf("cycles diverge: live %d, replay %d", live.Cycles, replay.Cycles)
+	}
+	if !reflect.DeepEqual(live.Counters, replay.Counters) {
+		t.Fatalf("protocol counters diverge between live and replay runs:\nlive:   %+v\nreplay: %+v",
+			live.Counters, replay.Counters)
 	}
 }
 
@@ -163,7 +277,7 @@ func TestLoadRejectsEmptyThread(t *testing.T) {
 func TestSimulatorReplayEquivalence(t *testing.T) {
 	spec, _ := workload.ByName("stencil", 16)
 	var buf bytes.Buffer
-	if err := Capture(&buf, spec, 120_000); err != nil {
+	if _, err := Capture(&buf, spec, 120_000); err != nil {
 		t.Fatal(err)
 	}
 	src, err := Load(bytes.NewReader(buf.Bytes()))
@@ -307,8 +421,12 @@ func TestCaptureFixesUpHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 1000
-	if err := Capture(f, spec, n); err != nil {
+	st, err := Capture(f, spec, n)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if st.Ops != n {
+		t.Fatalf("CaptureStats.Ops = %d, want %d", st.Ops, n)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)

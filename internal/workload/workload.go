@@ -238,10 +238,13 @@ func (g *Generator) Spec() Spec { return g.spec }
 func (g *Generator) Next(tid int) Op {
 	s := &g.spec
 	if s.BarrierEvery > 0 {
-		g.opCount[tid]++
-		if g.opCount[tid]%s.BarrierEvery == 0 {
+		// The barrier follows BarrierEvery memory ops (it does not replace
+		// the Nth op): N memory ops, then a barrier, then the next interval.
+		if g.opCount[tid] == s.BarrierEvery {
+			g.opCount[tid] = 0
 			return Op{Kind: Barrier}
 		}
+		g.opCount[tid]++
 	}
 	r := g.rngs[tid]
 

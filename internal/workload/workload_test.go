@@ -163,17 +163,28 @@ func TestPrivateRegionsDisjoint(t *testing.T) {
 }
 
 func TestBarrierCadence(t *testing.T) {
+	// With BarrierEvery = N, the barrier follows N memory ops: each interval
+	// is N memory ops plus one barrier, so every window of N+1 Next calls
+	// holds exactly N memory ops.
 	spec, _ := ByName("fft", 2)
 	spec.BarrierEvery = 100
 	g, _ := NewGenerator(spec)
-	count := 0
-	for i := 0; i < 100; i++ {
+	memSinceBarrier := 0
+	barriers := 0
+	for i := 0; i < 1010; i++ {
 		if g.Next(0).Kind == Barrier {
-			count++
+			if memSinceBarrier != 100 {
+				t.Fatalf("barrier %d after %d memory ops, want 100", barriers, memSinceBarrier)
+			}
+			barriers++
+			memSinceBarrier = 0
+		} else {
+			memSinceBarrier++
 		}
 	}
-	if count != 1 {
-		t.Fatalf("%d barriers in 100 ops, want 1", count)
+	// 1010 calls = 10 full intervals of 101 calls each.
+	if barriers != 10 {
+		t.Fatalf("%d barriers in 1010 calls, want 10", barriers)
 	}
 }
 
