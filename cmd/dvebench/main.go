@@ -30,6 +30,11 @@ func main() {
 		parallel = flag.Int("parallel", 8, "concurrent simulations")
 		engine   = flag.String("engine", "", "simulation engine: auto|serial|parallel|legacy; with -experiment bench also \"both\" (the bench default) to measure serial and parallel in one report")
 		jsonOut  = flag.String("json", "", "with -experiment bench: write the perf report to this BENCH_*.json file")
+		check    = flag.String("check", "", "with -experiment bench: compare the fresh run against this committed BENCH_*.json baseline and exit nonzero on regression")
+		checkOps = flag.Float64("check-min-ops", 0.5,
+			"with -check: lowest acceptable fresh/baseline ops-per-sec ratio (wall time is host-dependent; negative disables)")
+		checkAllocs = flag.Float64("check-allocs-growth", 0.25,
+			"with -check: acceptable fractional growth in allocs/op, plus one alloc of absolute slack (negative disables)")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = no caching)")
 		minHit   = flag.Float64("min-cache-hit", 0, "fail if the cache hit rate ends below this fraction (CI guard)")
 		retries  = flag.Int("retries", 0, "per-cell retry budget")
@@ -103,6 +108,20 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check != "" {
+			base, err := perf.LoadReport(*check)
+			if err != nil {
+				fatal(err)
+			}
+			regs := perf.Compare(base, rep, perf.Tolerance{
+				MinOpsRatio:     *checkOps,
+				MaxAllocsGrowth: *checkAllocs,
+			})
+			fmt.Println(perf.FormatRegressions(regs, len(base.Runs)))
+			if len(regs) > 0 {
+				os.Exit(1)
+			}
 		}
 		checkCache()
 		return

@@ -38,9 +38,47 @@ import (
 	"time"
 
 	"dve/internal/experiments"
+	"dve/internal/obslog"
 	"dve/internal/results"
 	"dve/internal/serve"
+	"dve/internal/stats"
 )
+
+// openLog builds the structured event logger from the -log/-log-level
+// flags. This is the one place dveserve reads the wall clock for
+// observability: BaseMicros anchors the injected monotonic clock to the Unix
+// epoch once at startup, so internal packages stay off time.Now (the
+// determinism analyzer enforces that scope). An empty path disables logging
+// entirely (the nil logger costs one branch per site).
+func openLog(path, level string) (*obslog.Logger, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	lv, err := obslog.ParseLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w *os.File
+	closeFn := func() {}
+	switch path {
+	case "stderr", "-":
+		w = os.Stderr
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-log: %w", err)
+		}
+		w = f
+		closeFn = func() { f.Close() }
+	}
+	sw := stats.StartWallClock()
+	return obslog.New(obslog.Options{
+		Min:        lv,
+		Clock:      sw.Elapsed,
+		BaseMicros: time.Now().UnixMicro(),
+		Sink:       obslog.NewJSONSink(w),
+	}), closeFn, nil
+}
 
 func main() {
 	var (
@@ -58,6 +96,9 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 5, "lease grants per cell before it is poisoned")
 		drainGrace  = flag.Duration("drain-grace", 0,
 			"pause between flipping /readyz and closing intake on shutdown")
+		logPath = flag.String("log", "",
+			"structured JSON event log destination: a file path, or stderr|- (empty = disabled)")
+		logLevel = flag.String("log-level", "info", "debug|info|warn|error")
 	)
 	flag.Parse()
 
@@ -65,9 +106,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	log, closeLog, err := openLog(*logPath, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeLog()
 
 	if *role == "worker" {
-		runWorker(*peer, *id, *workers, *retries, sc)
+		runWorker(*peer, *id, *workers, *retries, sc, log)
 		return
 	}
 
@@ -81,6 +127,7 @@ func main() {
 			Parallelism: *workers,
 			Cache:       store,
 			Retries:     *retries,
+			Log:         log,
 		},
 		Workers:     *workers,
 		QueueDepth:  *queue,
@@ -88,6 +135,7 @@ func main() {
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
 		DrainGrace:  *drainGrace,
+		Log:         log,
 	})
 	if err != nil {
 		fatal(err)
@@ -118,7 +166,7 @@ func main() {
 // runWorker runs n fabric worker loops against the coordinator at peer
 // until SIGTERM. Workers hold no cache: results travel in the complete RPC
 // and the coordinator's store is authoritative.
-func runWorker(peer, id string, n, retries int, sc experiments.Scale) {
+func runWorker(peer, id string, n, retries int, sc experiments.Scale, log *obslog.Logger) {
 	if peer == "" {
 		fatal(fmt.Errorf("-role worker needs -peer <coordinator url>"))
 	}
@@ -136,7 +184,8 @@ func runWorker(peer, id string, n, retries int, sc experiments.Scale) {
 		w, err := serve.NewWorker(serve.WorkerConfig{
 			Coordinator: peer,
 			ID:          fmt.Sprintf("%s/%d", id, i),
-			Runner:      experiments.Runner{Scale: sc, Retries: retries},
+			Runner:      experiments.Runner{Scale: sc, Retries: retries, Log: log},
+			Log:         log,
 		})
 		if err != nil {
 			fatal(err)

@@ -304,12 +304,22 @@ func Run(spec workload.Spec, rc RunConfig) (*Result, error) {
 		// corruption anywhere voids a campaign's zero-SDC assertion.
 		res.Counters.SilentCorruptions = rc.Faults.SilentCorruptions()
 	}
-	res.Metrics = telemetry.CountersSnapshot(&res.Counters)
+	// Flight dump before the metrics snapshot: Dump() advances the
+	// recorder's dump counter and both instrumentation-health counters ride
+	// in the snapshot. Both stay zero in healthy runs (no lane exhaustion,
+	// no violations), so traced and untraced runs remain byte-identical.
 	if len(res.InvariantViolations) > 0 && rc.Telemetry != nil {
 		if rec := rc.Telemetry.Recorder(); rec != nil {
 			res.FlightDump = rec.Dump()
 		}
 	}
+	if rc.Telemetry != nil {
+		res.Counters.TraceDropped = rc.Telemetry.Dropped()
+		if rec := rc.Telemetry.Recorder(); rec != nil {
+			res.Counters.FlightDumps = rec.Dumps()
+		}
+	}
+	res.Metrics = telemetry.CountersSnapshot(&res.Counters)
 	return res, nil
 }
 

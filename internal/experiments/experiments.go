@@ -16,6 +16,7 @@ import (
 
 	"dve/internal/dve"
 	"dve/internal/energy"
+	"dve/internal/obslog"
 	"dve/internal/results"
 	"dve/internal/stats"
 	"dve/internal/topology"
@@ -85,6 +86,11 @@ type Runner struct {
 	// Sleep is the retry sleep source; nil means time.Sleep. Tests inject a
 	// recorder so retry paths stay fast and deterministic.
 	Sleep func(time.Duration)
+	// Log, when set, receives cell-lifecycle events (cache hit/miss, retry,
+	// final failure) from the cached runner. The nil logger is fully
+	// disabled and costs one branch per site; events never influence the
+	// simulation, so logged and unlogged sweeps are byte-identical.
+	Log *obslog.Logger
 }
 
 func (r Runner) parallelism() int {
@@ -185,8 +191,9 @@ func (r Runner) retrySleep(spec workload.Spec, attempt int) {
 
 // runRetry is runOne with the runner's per-cell retry budget and
 // full-jitter backoff between attempts; on final failure every attempt's
-// error is reported.
-func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool) (*dve.Result, error) {
+// error is reported. key is the cell's content address for log correlation
+// ("" when the runner has no cache).
+func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool, key string) (*dve.Result, error) {
 	var errs []error
 	for attempt := 0; ; attempt++ {
 		res, err := r.runOne(spec, cfg, classify)
@@ -195,7 +202,19 @@ func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool)
 		}
 		errs = append(errs, fmt.Errorf("attempt %d: %w", attempt+1, err))
 		if attempt >= r.Retries {
+			if r.Log.On(obslog.Error) {
+				r.Log.Error("runner", "cell_failed", obslog.Event{
+					Key: key, Attempt: attempt + 1,
+					Detail: spec.Name + "/" + cfg.Protocol.String() + ": " + err.Error(),
+				})
+			}
 			return nil, errors.Join(errs...)
+		}
+		if r.Log.On(obslog.Warn) {
+			r.Log.Warn("runner", "cell_retry", obslog.Event{
+				Key: key, Attempt: attempt + 1,
+				Detail: spec.Name + "/" + cfg.Protocol.String() + ": " + err.Error(),
+			})
 		}
 		r.retrySleep(spec, attempt)
 	}
@@ -207,7 +226,7 @@ func (r Runner) runRetry(spec workload.Spec, cfg topology.Config, classify bool)
 // simulates. The sweep service and the figure matrices share this path.
 func (r Runner) RunCell(spec workload.Spec, cfg topology.Config, classify bool) (res *dve.Result, hit bool, err error) {
 	if r.Cache == nil {
-		res, err = r.runRetry(spec, cfg, classify)
+		res, err = r.runRetry(spec, cfg, classify, "")
 		return res, false, err
 	}
 	key, err := r.CellKey(spec, cfg, classify)
@@ -216,9 +235,19 @@ func (r Runner) RunCell(spec workload.Spec, cfg topology.Config, classify bool) 
 	}
 	var cached dve.Result
 	if r.Cache.Get(key, &cached) {
+		if r.Log.On(obslog.Debug) {
+			r.Log.Debug("runner", "cell_cache_hit", obslog.Event{
+				Key: string(key), Detail: spec.Name + "/" + cfg.Protocol.String(),
+			})
+		}
 		return &cached, true, nil
 	}
-	res, err = r.runRetry(spec, cfg, classify)
+	if r.Log.On(obslog.Debug) {
+		r.Log.Debug("runner", "cell_cache_miss", obslog.Event{
+			Key: string(key), Detail: spec.Name + "/" + cfg.Protocol.String(),
+		})
+	}
+	res, err = r.runRetry(spec, cfg, classify, string(key))
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,175 @@
+package perf
+
+// Regression checking: dvebench -check compares a fresh bench run against
+// the committed BENCH_*.json baseline so a PR that slows the hot path or
+// adds per-op allocations fails CI instead of landing silently. Throughput
+// is host-dependent (CI machines differ from the one that wrote the
+// baseline), so its tolerance is deliberately loose and configurable;
+// allocations per op come from a deterministic simulation and are compared
+// tightly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// LoadReport reads a BENCH_*.json document written by Report.WriteFile.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: reading baseline: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("perf: decoding %s: %w", path, err)
+	}
+	if rep.Schema < 1 || rep.Schema > 2 {
+		return nil, fmt.Errorf("perf: %s has unknown schema %d", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// Tolerance bounds how much worse a fresh run may be than the baseline
+// before Compare reports a regression. The zero value selects the defaults.
+type Tolerance struct {
+	// MinOpsRatio is the lowest acceptable fresh/baseline throughput ratio.
+	// 0 means 0.5: wall-clock numbers move with the host, so only a halving
+	// trips the default guard. Negative disables the throughput check.
+	MinOpsRatio float64
+	// MaxAllocsGrowth is the acceptable fractional growth in allocs/op
+	// (fresh ≤ baseline·(1+growth) + AllocsSlack). 0 means 0.25.
+	// Negative disables the allocation check.
+	MaxAllocsGrowth float64
+	// AllocsSlack is the absolute allocs/op headroom added on top of the
+	// fractional bound, so near-zero baselines do not trip on noise.
+	// 0 means 1.0.
+	AllocsSlack float64
+}
+
+func (t Tolerance) minOps() float64 {
+	if t.MinOpsRatio == 0 {
+		return 0.5
+	}
+	return t.MinOpsRatio
+}
+
+func (t Tolerance) allocsLimit(baseline float64) float64 {
+	growth := t.MaxAllocsGrowth
+	if growth == 0 {
+		growth = 0.25
+	}
+	slack := t.AllocsSlack
+	if slack == 0 {
+		slack = 1.0
+	}
+	return baseline*(1+growth) + slack
+}
+
+// Regression is one metric of one run that fell outside tolerance.
+type Regression struct {
+	Workload string
+	Protocol string
+	Engine   string
+	Workers  int
+	Metric   string // "ops_per_sec" | "allocs_per_op" | "missing"
+	Baseline float64
+	Fresh    float64
+	Limit    float64
+}
+
+func (r Regression) String() string {
+	id := fmt.Sprintf("%s/%s", r.Workload, r.Protocol)
+	if r.Engine != "" {
+		id += fmt.Sprintf(" (%s×%d)", r.Engine, r.Workers)
+	}
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but not in the fresh run", id)
+	}
+	return fmt.Sprintf("%s: %s %.3g vs baseline %.3g (limit %.3g)",
+		id, r.Metric, r.Fresh, r.Baseline, r.Limit)
+}
+
+// runKey identifies a run across reports. Workers is part of the identity:
+// serial and parallel measurements of the same cell are separate series.
+func runKey(r Run) string {
+	return fmt.Sprintf("%s|%s|%s|%d", r.Workload, r.Protocol, r.Engine, r.Workers)
+}
+
+// Compare checks every baseline run against its counterpart in fresh and
+// returns the regressions in deterministic order (empty = within
+// tolerance). Runs present only in fresh are ignored — new coverage is not
+// a regression; runs missing from fresh are reported, so a bench matrix
+// cannot silently shrink past the check.
+func Compare(baseline, fresh *Report, tol Tolerance) []Regression {
+	byKey := make(map[string]Run, len(fresh.Runs))
+	for _, r := range fresh.Runs {
+		byKey[runKey(r)] = r
+	}
+	var regs []Regression
+	for _, base := range baseline.Runs {
+		f, ok := byKey[runKey(base)]
+		if !ok {
+			regs = append(regs, Regression{
+				Workload: base.Workload, Protocol: base.Protocol,
+				Engine: base.Engine, Workers: base.Workers, Metric: "missing",
+			})
+			continue
+		}
+		if minRatio := tol.minOps(); minRatio > 0 && base.OpsPerSec > 0 {
+			limit := base.OpsPerSec * minRatio
+			if f.OpsPerSec < limit {
+				regs = append(regs, Regression{
+					Workload: base.Workload, Protocol: base.Protocol,
+					Engine: base.Engine, Workers: base.Workers,
+					Metric:   "ops_per_sec",
+					Baseline: base.OpsPerSec, Fresh: f.OpsPerSec, Limit: limit,
+				})
+			}
+		}
+		if tol.MaxAllocsGrowth >= 0 {
+			limit := tol.allocsLimit(base.AllocsPerOp)
+			if f.AllocsPerOp > limit {
+				regs = append(regs, Regression{
+					Workload: base.Workload, Protocol: base.Protocol,
+					Engine: base.Engine, Workers: base.Workers,
+					Metric:   "allocs_per_op",
+					Baseline: base.AllocsPerOp, Fresh: f.AllocsPerOp, Limit: limit,
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		a, b := regs[i], regs[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Workers != b.Workers {
+			return a.Workers < b.Workers
+		}
+		return a.Metric < b.Metric
+	})
+	return regs
+}
+
+// FormatRegressions renders Compare output for a CLI: one line per
+// regression, or a one-line all-clear naming how many runs were checked.
+func FormatRegressions(regs []Regression, checked int) string {
+	if len(regs) == 0 {
+		return fmt.Sprintf("bench check: %d baseline runs within tolerance", checked)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bench check: %d regression(s) against baseline:\n", len(regs))
+	for _, r := range regs {
+		sb.WriteString("  " + r.String() + "\n")
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

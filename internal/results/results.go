@@ -52,7 +52,11 @@ import (
 // History: 4 — stats.Counters grew the RowHammer defense scores and RAS
 // scenarios grew the Hammer arm; cached counter payloads from earlier
 // schemas would deserialise with silently-zero hammer columns.
-const SchemaVersion = 4
+// History: 5 — stats.Counters grew the instrumentation-health columns
+// (TraceDropped, FlightDumps) and the metrics snapshot two matching
+// series; earlier payloads would replay with those columns silently zero
+// and a shorter snapshot vector.
+const SchemaVersion = 5
 
 // Key is a content-address: the stable hash of a result's full input set.
 type Key string

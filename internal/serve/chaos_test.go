@@ -21,6 +21,7 @@ package serve
 // budget, not the inner loop's.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -38,6 +39,7 @@ import (
 
 	"dve/internal/dve"
 	"dve/internal/results"
+	"dve/internal/telemetry"
 	"dve/internal/topology"
 	"dve/internal/workload"
 )
@@ -270,6 +272,45 @@ func TestChaosFabric(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || len(rr.Cells) != 9 {
 		t.Fatalf("chaos POST /run = %d with %d cells", resp.StatusCode, len(rr.Cells))
 	}
+
+	// A live SSE watcher rides the chaos sweep from start to finish: whatever
+	// faults hit the fabric, the stream must end with one terminal "done"
+	// frame whose aggregate matches the sweep. Drained continuously, so a
+	// resync frame (slow-consumer drop) is tolerated but not expected.
+	watchDone := make(chan watchSnapshot, 1)
+	watchErr := make(chan error, 1)
+	go func() {
+		r, err := http.Get(fmt.Sprintf("%s/watch/%d", ts.URL, rr.Sweep))
+		if err != nil {
+			watchErr <- err
+			return
+		}
+		defer r.Body.Close()
+		br := bufio.NewReader(r.Body)
+		for {
+			ev, err := readSSE(t, br)
+			if err != nil {
+				watchErr <- fmt.Errorf("chaos SSE stream broke: %w", err)
+				return
+			}
+			switch ev.name {
+			case "snapshot", "cell", "resync":
+				// progress frames; keep draining
+			case "done":
+				var snap watchSnapshot
+				if err := json.Unmarshal(ev.data, &snap); err != nil {
+					watchErr <- err
+					return
+				}
+				watchDone <- snap
+				return
+			default:
+				watchErr <- fmt.Errorf("chaos SSE: unexpected event %q", ev.name)
+				return
+			}
+		}
+	}()
+
 	<-stuck // the doomed worker holds a lease on some cell
 
 	// Two healthy-but-faulty workers join; then the doomed one dies
@@ -295,6 +336,57 @@ func TestChaosFabric(t *testing.T) {
 	}
 	if m.DegradedTransitions < 1 {
 		t.Fatalf("chaos metrics %+v: want at least one degraded transition", m)
+	}
+
+	// The watcher that joined before the faults sees the sweep through to a
+	// terminal done frame, and its aggregate agrees with the sweep size.
+	select {
+	case snap := <-watchDone:
+		if !snap.Done || snap.Sweep != rr.Sweep {
+			t.Fatalf("chaos SSE done frame %+v: not terminal for sweep %d", snap, rr.Sweep)
+		}
+		if snap.Agg.Total != 9 || snap.Agg.Done != 9 || snap.Agg.Failed != 0 {
+			t.Fatalf("chaos SSE final aggregate %+v, want 9/9 done", snap.Agg)
+		}
+	case err := <-watchErr:
+		t.Fatalf("chaos SSE watcher: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("chaos SSE watcher never saw the done frame")
+	}
+
+	// The lifecycle trace captured during the chaos pass is a valid
+	// wall-domain Chrome trace: spans nest, B/E pair per track, and every
+	// cell's span is attributed to a real worker track (tid != 0 is the
+	// coordinator's own pool). Scraped before the recovery storm below so
+	// the ring has not evicted the matrix's spans.
+	{
+		r, err := http.Get(ts.URL + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := readAll(r)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET /trace = %d", r.StatusCode)
+		}
+		evs, err := telemetry.ParseTrace(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("chaos trace does not parse: %v", err)
+		}
+		if err := telemetry.ValidateTrace(evs); err != nil {
+			t.Errorf("chaos trace invalid: %v", err)
+		}
+		if err := telemetry.ValidateTraceDomain(evs, telemetry.DomainWall); err != nil {
+			t.Errorf("chaos trace domain: %v", err)
+		}
+		spans := make(map[string]bool)
+		for _, ev := range evs {
+			if ev.Ph == "B" && strings.HasPrefix(ev.Name, "cell ") {
+				spans[ev.Name] = true
+			}
+		}
+		if len(spans) < 9 {
+			t.Errorf("chaos trace has %d distinct cell spans, want >= 9", len(spans))
+		}
 	}
 
 	// ---- Disk chaos: bit-flip landed cache entries mid-flight. ----------
@@ -354,6 +446,9 @@ func TestChaosFabric(t *testing.T) {
 		t.Fatal(err)
 	}
 	promText, _ := readAll(r)
+	if err := telemetry.ValidateExposition(bytes.NewReader(promText)); err != nil {
+		t.Errorf("chaos: /metrics/prom is not a valid exposition: %v", err)
+	}
 	for _, counter := range []string{
 		"dveserve_lease_expired_total",
 		"dveserve_requeued_total",

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"time"
 
+	"dve/internal/obslog"
 	"dve/internal/results"
 	"dve/internal/topology"
 	"dve/internal/workload"
@@ -62,6 +63,12 @@ type leaseGrant struct {
 	// configs partition refuses the cell instead of caching a result from
 	// the wrong statistics universe.
 	Engine string `json:"engine"`
+	// Sweep and Cell are the span IDs minted at /run, propagated so the
+	// worker's own log lines join the coordinator's trace on the same keys.
+	// Sweep 0 means the cell predates ID minting (or a test enqueued it
+	// directly).
+	Sweep uint64 `json:"sweep,omitempty"`
+	Cell  uint64 `json:"cell,omitempty"`
 }
 
 // renewRequest heartbeats a held lease.
@@ -148,6 +155,12 @@ func (s *Server) refreshDegraded() {
 	if s.degraded.Swap(next) != next {
 		s.degradedTransitions.Add(1)
 		s.lq.broadcast()
+		event := "degraded_enter"
+		if !next {
+			event = "degraded_exit"
+		}
+		s.log.Warn("coordinator", event, obslog.Event{N: uint64(healthy)})
+		s.ftrace.instant(event, s.now(), map[string]any{"healthy_workers": healthy})
 	}
 }
 
@@ -156,7 +169,10 @@ func (s *Server) handleFabricRegister(w http.ResponseWriter, r *http.Request) {
 	if !decodeFabric(w, r, &req) {
 		return
 	}
-	s.touchWorker(req.Worker)
+	rw := s.touchWorker(req.Worker)
+	if s.log.On(obslog.Info) {
+		s.log.Info("coordinator", "worker_registered", obslog.Event{Worker: rw.id})
+	}
 	writeJSON(w, http.StatusOK, registerResponse{
 		LeaseTTLMillis: s.leaseTTL.Milliseconds(),
 	})
@@ -189,6 +205,8 @@ func (s *Server) handleFabricLease(w http.ResponseWriter, r *http.Request) {
 		WarmupOps:  s.runner.Scale.WarmupOps,
 		MeasureOps: s.runner.Scale.MeasureOps,
 		Engine:     s.runner.Engine.String(),
+		Sweep:      l.job.sweep,
+		Cell:       l.job.cell,
 	})
 }
 
@@ -200,11 +218,17 @@ func (s *Server) handleFabricRenew(w http.ResponseWriter, r *http.Request) {
 	if !decodeFabric(w, r, &req) {
 		return
 	}
-	s.touchWorker(req.Worker)
+	rw := s.touchWorker(req.Worker)
 	s.heartbeats.Add(1)
 	if !s.lq.renew(req.Lease) {
+		if s.log.On(obslog.Warn) {
+			s.log.Warn("coordinator", "renew_gone", obslog.Event{Worker: rw.id, Lease: req.Lease})
+		}
 		writeJSON(w, http.StatusGone, map[string]string{"status": "lease gone"})
 		return
+	}
+	if s.log.On(obslog.Debug) {
+		s.log.Debug("coordinator", "lease_renewed", obslog.Event{Worker: rw.id, Lease: req.Lease})
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "renewed"})
 }
@@ -222,6 +246,12 @@ func (s *Server) handleFabricComplete(w http.ResponseWriter, r *http.Request) {
 		// In-flight corruption: reject with 409 (the worker's retryable
 		// class) without touching the lease. The worker re-sends fresh
 		// bytes while its heartbeats keep the lease alive.
+		if s.log.On(obslog.Warn) {
+			s.log.Warn("coordinator", "complete_corrupt", obslog.Event{
+				Worker: rw.id, Lease: req.Lease, Key: req.Key,
+				Detail: "payload checksum mismatch",
+			})
+		}
 		http.Error(w, "payload checksum mismatch", http.StatusConflict)
 		return
 	}
@@ -239,8 +269,8 @@ func (s *Server) handleFabricComplete(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusGone, map[string]string{"status": "unknown cell"})
 		return
 	}
-	if j, ok := s.lq.complete(req.Lease); ok {
-		if string(j.key) != req.Key {
+	if l, ok := s.lq.complete(req.Lease); ok {
+		if string(l.job.key) != req.Key {
 			// The lease and the payload disagree: treat as a failed attempt
 			// so the cell is re-enqueued rather than mis-filed.
 			s.lq.fail(req.Lease, "complete for mismatched key")

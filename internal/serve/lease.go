@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dve/internal/stats"
 )
 
 // The lease queue is the fabric's unit of fault tolerance. A cell is never
@@ -34,9 +37,39 @@ import (
 
 // queuedCell is one cell waiting for a lease, with its retry history.
 type queuedCell struct {
-	job      job
-	attempts int    // leases granted so far
-	lastErr  string // most recent failure/expiry reason, for poison reports
+	job        job
+	attempts   int    // leases granted so far
+	lastErr    string // most recent failure/expiry reason, for poison reports
+	enqueuedAt time.Duration
+}
+
+// Queue lifecycle event kinds, in the order a healthy cell sees them.
+const (
+	evEnqueued  = "enqueued"
+	evGranted   = "granted"
+	evCompleted = "completed"
+	evFailed    = "failed"    // worker-reported failure (before requeue/poison)
+	evExpired   = "expired"   // lease passed its deadline (before requeue/poison)
+	evRequeued  = "requeued"  // cell returned to the front of the queue
+	evPoisoned  = "poisoned"  // attempt budget spent; cell quarantined
+	evCancelled = "cancelled" // in-flight incarnation cancelled by a late result
+)
+
+// queueEvent is one observed state transition, emitted to the server's
+// observability hook strictly outside the queue lock. depth is the pending
+// length *after* the transition, so consumers can treat the stream as an
+// exact queue-depth gauge rather than a sampled one.
+type queueEvent struct {
+	kind     string
+	j        job
+	leaseID  uint64
+	owner    string
+	local    bool
+	attempts int
+	reason   string
+	depth    int
+	waited   time.Duration // granted only: enqueue → grant latency
+	at       time.Duration
 }
 
 // lease is one granted cell. id is unique for the server's lifetime so a
@@ -62,6 +95,14 @@ type leaseStats struct {
 	Poisoned  uint64
 	Renewals  uint64
 	Completed uint64
+	// LeaseWait is the enqueue→grant latency distribution in milliseconds —
+	// the placement signal ROADMAP item 1 wants (a queue whose wait grows is
+	// starved for workers).
+	LeaseWait stats.Histogram
+	// LeasedByOwner counts outstanding leases per owner — the per-node
+	// in-flight gauge. Computed from live leases, so expiry is reflected
+	// immediately.
+	LeasedByOwner map[string]int
 }
 
 // leaseQueue is the coordinator's cell queue. All methods are safe for
@@ -83,6 +124,23 @@ type leaseQueue struct {
 	// poisoned reports a cell that exhausted its attempt budget; the server
 	// marks the job failed. Called without mu held.
 	poisoned func(j job, attempts int, lastErr string)
+
+	// onEvent observes every queue transition. Called without mu held (the
+	// server's handler takes its own locks and must not nest inside ours);
+	// events collected under mu are flushed right after unlock, the same
+	// discipline poisonReport already follows.
+	onEvent func(queueEvent)
+	evBuf   []queueEvent // guarded by mu; drained before every unlock
+	// emitMu serialises flushes in collection order (see flushAndUnlock):
+	// without it, two goroutines' batches could interleave and a grant could
+	// reach the trace before the expiry that preceded it in queue order.
+	emitMu sync.Mutex
+
+	// depthGauge mirrors len(pending), updated inside every mutation while
+	// mu is held — a true transition-time gauge, not a sampling-time read.
+	depthGauge atomic.Int64
+
+	waitHist stats.Histogram // enqueue→grant latency (ms), guarded by mu
 
 	expired, requeued, poisonCount, renewals, completed uint64 // guarded by mu
 }
@@ -107,16 +165,53 @@ func (q *leaseQueue) broadcast() {
 	q.mu.Unlock()
 }
 
+// noteLocked records a transition for the observability hook, stamping the
+// post-transition depth and the queue clock. mu must be held.
+func (q *leaseQueue) noteLocked(ev queueEvent) {
+	q.depthGauge.Store(int64(len(q.pending)))
+	if q.onEvent == nil {
+		return
+	}
+	ev.depth = len(q.pending)
+	ev.at = q.now()
+	q.evBuf = append(q.evBuf, ev)
+}
+
+// flushAndUnlock delivers the collected events to the hook in exactly the
+// order the queue recorded them, then releases mu; mu must be held on
+// entry. The emit mutex is lock-
+// chained — acquired while mu is still held, released only after delivery —
+// so two flushers can never interleave their batches: a grant flushed by
+// one goroutine cannot overtake the expiry another goroutine collected
+// first, which the lifecycle trace's span nesting depends on. onEvent runs
+// under emitMu but outside mu; it must not take mu or the server's job lock.
+func (q *leaseQueue) flushAndUnlock() {
+	evs := q.evBuf
+	q.evBuf = nil
+	if len(evs) == 0 || q.onEvent == nil {
+		q.mu.Unlock()
+		return
+	}
+	q.emitMu.Lock()
+	q.mu.Unlock()
+	for i := range evs {
+		q.onEvent(evs[i])
+	}
+	q.emitMu.Unlock()
+}
+
 // enqueue appends a fresh cell. Returns false when the queue is closed
 // (draining) or already holds depth pending cells.
 func (q *leaseQueue) enqueue(j job, depth int) bool {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed || len(q.pending) >= depth {
+		q.mu.Unlock()
 		return false
 	}
-	q.pending = append(q.pending, queuedCell{job: j, attempts: 0})
+	q.pending = append(q.pending, queuedCell{job: j, attempts: 0, enqueuedAt: q.now()})
+	q.noteLocked(queueEvent{kind: evEnqueued, j: j})
 	q.cond.Broadcast()
+	q.flushAndUnlock()
 	return true
 }
 
@@ -127,8 +222,15 @@ func (q *leaseQueue) pendingLen() int {
 	return len(q.pending)
 }
 
-// grantLocked pops the oldest pending cell into a new lease. Caller holds
-// mu and has checked pending is non-empty.
+// depth is the transition-time queue-depth gauge: updated on every enqueue,
+// grant, requeue and cancellation while the queue lock is held, so a scrape
+// never reads a value the queue did not actually pass through.
+func (q *leaseQueue) depth() int {
+	return int(q.depthGauge.Load())
+}
+
+// grantLocked pops the oldest pending cell into a new lease. mu must be
+// held, and the caller has checked pending is non-empty.
 func (q *leaseQueue) grantLocked(owner string, local bool) *lease {
 	c := q.pending[0]
 	q.pending = q.pending[1:]
@@ -144,6 +246,15 @@ func (q *leaseQueue) grantLocked(owner string, local bool) *lease {
 		l.deadline = q.now() + q.ttl
 	}
 	q.leases[l.id] = l
+	waited := q.now() - c.enqueuedAt
+	if waited < 0 {
+		waited = 0
+	}
+	q.waitHist.Add(uint64(waited.Milliseconds()))
+	q.noteLocked(queueEvent{
+		kind: evGranted, j: c.job, leaseID: l.id, owner: owner,
+		local: local, attempts: l.attempts, waited: waited,
+	})
 	q.cond.Broadcast()
 	return l
 }
@@ -158,7 +269,7 @@ func (q *leaseQueue) tryLease(owner string, local bool) (*lease, bool) {
 	if len(q.pending) > 0 {
 		l = q.grantLocked(owner, local)
 	}
-	q.mu.Unlock()
+	q.flushAndUnlock()
 	for _, p := range poisons {
 		q.emitPoison(p)
 	}
@@ -178,25 +289,33 @@ func (q *leaseQueue) renew(id uint64) bool {
 		}
 		q.renewals++
 	}
-	q.mu.Unlock()
+	q.flushAndUnlock()
 	for _, p := range poisons {
 		q.emitPoison(p)
 	}
 	return ok
 }
 
-// complete retires a lease after its cell's result landed in the cache.
-func (q *leaseQueue) complete(id uint64) (job, bool) {
+// complete retires a lease after its cell's result landed in the cache. The
+// returned lease copy carries the owner and attempt count so the caller can
+// attribute the completion (trace span, per-node counters).
+func (q *leaseQueue) complete(id uint64) (lease, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	l, ok := q.leases[id]
 	if !ok {
-		return job{}, false
+		q.mu.Unlock()
+		return lease{}, false
 	}
 	delete(q.leases, id)
 	q.completed++
+	done := *l
+	q.noteLocked(queueEvent{
+		kind: evCompleted, j: l.job, leaseID: l.id, owner: l.owner,
+		local: l.local, attempts: l.attempts,
+	})
 	q.cond.Broadcast()
-	return l.job, true
+	q.flushAndUnlock()
+	return done, true
 }
 
 // completeKey retires whatever incarnation of the cell with this key is in
@@ -207,20 +326,26 @@ func (q *leaseQueue) complete(id uint64) (job, bool) {
 // waste a worker.
 func (q *leaseQueue) completeKey(key string) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	for i := range q.pending {
 		if string(q.pending[i].job.key) == key {
+			j := q.pending[i].job
 			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			q.noteLocked(queueEvent{kind: evCancelled, j: j, reason: "late result landed"})
 			break
 		}
 	}
 	for id, l := range q.leases {
 		if string(l.job.key) == key {
 			delete(q.leases, id)
+			q.noteLocked(queueEvent{
+				kind: evCancelled, j: l.job, leaseID: l.id, owner: l.owner,
+				local: l.local, attempts: l.attempts, reason: "late result landed",
+			})
 			break
 		}
 	}
 	q.cond.Broadcast()
+	q.flushAndUnlock()
 }
 
 // fail returns a leased cell to the queue (or poisons it past the attempt
@@ -233,9 +358,13 @@ func (q *leaseQueue) fail(id uint64, reason string) bool {
 		return false
 	}
 	delete(q.leases, id)
+	q.noteLocked(queueEvent{
+		kind: evFailed, j: l.job, leaseID: l.id, owner: l.owner,
+		local: l.local, attempts: l.attempts, reason: reason,
+	})
 	poison := q.requeueLocked(l, reason)
 	q.cond.Broadcast()
-	q.mu.Unlock()
+	q.flushAndUnlock()
 	if poison != nil {
 		q.emitPoison(*poison)
 	}
@@ -262,10 +391,18 @@ func (q *leaseQueue) emitPoison(p poisonReport) {
 func (q *leaseQueue) requeueLocked(l *lease, reason string) *poisonReport {
 	if l.attempts >= q.maxAttempts {
 		q.poisonCount++
+		q.noteLocked(queueEvent{
+			kind: evPoisoned, j: l.job, leaseID: l.id, owner: l.owner,
+			local: l.local, attempts: l.attempts, reason: reason,
+		})
 		return &poisonReport{j: l.job, attempts: l.attempts, lastErr: reason}
 	}
 	q.requeued++
-	q.pending = append([]queuedCell{{job: l.job, attempts: l.attempts, lastErr: reason}}, q.pending...)
+	q.pending = append([]queuedCell{{job: l.job, attempts: l.attempts, lastErr: reason, enqueuedAt: q.now()}}, q.pending...)
+	q.noteLocked(queueEvent{
+		kind: evRequeued, j: l.job, leaseID: l.id, owner: l.owner,
+		local: l.local, attempts: l.attempts, reason: reason,
+	})
 	return nil
 }
 
@@ -277,7 +414,7 @@ func (q *leaseQueue) tick() {
 	if len(poisons) > 0 || q.closed {
 		q.cond.Broadcast()
 	}
-	q.mu.Unlock()
+	q.flushAndUnlock()
 	for _, p := range poisons {
 		q.emitPoison(p)
 	}
@@ -304,6 +441,10 @@ func (q *leaseQueue) reapLocked() []poisonReport {
 		delete(q.leases, l.id)
 		q.expired++
 		reason := fmt.Sprintf("lease %d (owner %s) expired after attempt %d", l.id, l.owner, l.attempts)
+		q.noteLocked(queueEvent{
+			kind: evExpired, j: l.job, leaseID: l.id, owner: l.owner,
+			local: l.local, attempts: l.attempts, reason: reason,
+		})
 		if p := q.requeueLocked(l, reason); p != nil {
 			poisons = append(poisons, *p)
 		}
@@ -339,12 +480,14 @@ func (q *leaseQueue) waitEmpty() {
 // expired cells return to pending.
 func (q *leaseQueue) acquire(owner string, local bool, allowed func() bool) (*lease, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	for {
 		if len(q.pending) > 0 && allowed() {
-			return q.grantLocked(owner, local), true
+			l := q.grantLocked(owner, local)
+			q.flushAndUnlock()
+			return l, true
 		}
 		if q.closed && len(q.pending) == 0 && len(q.leases) == 0 {
+			q.mu.Unlock()
 			return nil, false
 		}
 		q.cond.Wait()
@@ -355,13 +498,19 @@ func (q *leaseQueue) acquire(owner string, local bool, allowed func() bool) (*le
 func (q *leaseQueue) stats() leaseStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	byOwner := make(map[string]int, len(q.leases))
+	for _, l := range q.leases {
+		byOwner[l.owner]++
+	}
 	return leaseStats{
-		Pending:   len(q.pending),
-		Leased:    len(q.leases),
-		Expired:   q.expired,
-		Requeued:  q.requeued,
-		Poisoned:  q.poisonCount,
-		Renewals:  q.renewals,
-		Completed: q.completed,
+		Pending:       len(q.pending),
+		Leased:        len(q.leases),
+		Expired:       q.expired,
+		Requeued:      q.requeued,
+		Poisoned:      q.poisonCount,
+		Renewals:      q.renewals,
+		Completed:     q.completed,
+		LeaseWait:     q.waitHist,
+		LeasedByOwner: byOwner,
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ import (
 
 	"dve/internal/dve"
 	"dve/internal/experiments"
+	"dve/internal/obslog"
 	"dve/internal/results"
 	"dve/internal/stats"
 	"dve/internal/telemetry"
@@ -92,14 +94,24 @@ type Config struct {
 	// and closing intake, giving load balancers time to stop routing.
 	// 0 means no grace window.
 	DrainGrace time.Duration
+	// Log receives structured lifecycle events (may be nil: every emission
+	// is a nil-safe no-op, pinned at zero allocations).
+	Log *obslog.Logger
+	// TraceEvents caps the fabric lifecycle trace buffer. 0 means 32768.
+	TraceEvents int
 }
 
-// job is one queued simulation cell.
+// job is one queued simulation cell. sweep/cell are the span IDs minted at
+// POST /run: they ride the job through the lease queue and out to fabric
+// workers, so every log line and trace record of this cell's life can be
+// joined back to the submission that caused it.
 type job struct {
 	key      results.Key
 	spec     workload.Spec
 	cfg      topology.Config
 	classify bool
+	sweep    uint64
+	cell     uint64
 }
 
 // jobState tracks a cell the service has accepted. States move
@@ -149,6 +161,21 @@ type Server struct {
 	enqueued, completed, failed, rejected atomic.Uint64
 	heartbeats                            atomic.Uint64
 	remoteCompleted, remoteFailed         atomic.Uint64
+
+	// Observability: the structured event log (nil-safe), the wall-clock
+	// cell-lifecycle trace, and the live /watch hub. sweepSeq mints sweep
+	// IDs at /run.
+	log      *obslog.Logger
+	ftrace   *fabricTrace
+	hub      *watchHub
+	sweepSeq atomic.Uint64
+	pollMax  time.Duration
+
+	// poisonedKeys is the fault ledger's quarantine list: the content keys
+	// of cells the poison cap removed from circulation, capped so a
+	// pathological sweep cannot grow it without bound.
+	poisonMu     sync.Mutex
+	poisonedKeys []string
 
 	tickStop chan struct{}
 	tickDone chan struct{}
@@ -203,6 +230,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 5
 	}
+	if cfg.TraceEvents <= 0 {
+		cfg.TraceEvents = 32768
+	}
 	s := &Server{
 		runner:     cfg.Runner,
 		cache:      cfg.Runner.Cache,
@@ -216,14 +246,20 @@ func New(cfg Config) (*Server, error) {
 		remotes:    make(map[string]*remoteWorker),
 		started:    stats.StartWallClock(),
 		sleep:      time.Sleep,
+		log:        cfg.Log,
+		ftrace:     newFabricTrace(cfg.TraceEvents),
+		hub:        newWatchHub(),
+		pollMax:    25 * time.Second,
 	}
 	s.now = s.started.Elapsed
 	s.lq = newLeaseQueue(cfg.LeaseTTL, cfg.MaxAttempts, func() time.Duration { return s.now() })
 	s.lq.poisoned = func(j job, attempts int, lastErr string) {
 		s.failed.Add(1)
+		s.quarantine(j.key)
 		s.setState(j.key, "failed",
 			fmt.Sprintf("poisoned after %d attempts: %s", attempts, lastErr))
 	}
+	s.lq.onEvent = s.onQueueEvent
 	s.runCell = s.runner.RunCell
 	s.ready.Store(true)
 	// A coordinator with no workers yet is degraded from the first cell: the
@@ -277,6 +313,8 @@ func (s *Server) Drain() {
 	if already {
 		return
 	}
+	s.log.Info("coordinator", "drain_begin", obslog.Event{})
+	s.ftrace.instant("drain_begin", s.now(), nil)
 	s.lq.close()
 	s.lq.waitEmpty()
 	s.wg.Wait()
@@ -284,6 +322,11 @@ func (s *Server) Drain() {
 		close(s.tickStop)
 		<-s.tickDone
 	}
+	// Every queued cell has now resolved: close the live streams so /watch
+	// consumers get their final aggregate and a clean end-of-stream.
+	s.hub.closeAll()
+	s.ftrace.instant("drain_done", s.now(), nil)
+	s.log.Info("coordinator", "drain_done", obslog.Event{})
 }
 
 // localAllowed gates the in-process pool: always in solo role, only while
@@ -338,7 +381,69 @@ func (s *Server) setState(key results.Key, status, errMsg string) {
 	defer s.mu.Unlock()
 	if st, ok := s.jobs[key]; ok {
 		st.status, st.err = status, errMsg
+		// The hub mutation rides under s.mu like every other job-table
+		// write, so watchers observe transitions in table order.
+		s.hub.update(string(key), status, errMsg)
 	}
+}
+
+// sweepStr renders a sweep ID for log correlation ("" when the job was not
+// minted by /run, e.g. in unit tests that drive the queue directly).
+func sweepStr(sweep uint64) string {
+	if sweep == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", sweep)
+}
+
+// cellStr renders the per-cell span ID within a sweep.
+func cellStr(sweep, cell uint64) string {
+	if sweep == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/c%d", sweep, cell)
+}
+
+// quarantine appends a poisoned cell's key to the capped fault ledger.
+func (s *Server) quarantine(key results.Key) {
+	const poisonLedgerCap = 32
+	s.poisonMu.Lock()
+	if len(s.poisonedKeys) < poisonLedgerCap {
+		s.poisonedKeys = append(s.poisonedKeys, string(key))
+	}
+	s.poisonMu.Unlock()
+}
+
+// onQueueEvent is the lease queue's observability hook: every transition
+// feeds the wall-clock lifecycle trace and the structured log. Called
+// without the queue lock held; must not take s.mu (the enqueue path holds
+// it across lq.enqueue).
+func (s *Server) onQueueEvent(ev queueEvent) {
+	s.ftrace.observe(ev)
+	lv := obslog.Info
+	switch ev.kind {
+	case evFailed, evExpired:
+		lv = obslog.Warn
+	case evPoisoned:
+		lv = obslog.Error
+	}
+	if !s.log.On(lv) {
+		return
+	}
+	rec := obslog.Event{
+		Sweep:   sweepStr(ev.j.sweep),
+		Cell:    cellStr(ev.j.sweep, ev.j.cell),
+		Lease:   ev.leaseID,
+		Worker:  ev.owner,
+		Key:     string(ev.j.key),
+		Attempt: ev.attempts,
+		N:       uint64(ev.depth),
+		Detail:  ev.reason,
+	}
+	if ev.kind == evGranted {
+		rec.N = uint64(ev.waited.Milliseconds())
+	}
+	s.log.Emit(lv, "queue", "cell_"+ev.kind, rec)
 }
 
 // runRequest is the POST /run body. Workload/Protocol enqueue one cell;
@@ -361,9 +466,12 @@ type cellStatus struct {
 	Status string `json:"status"`
 }
 
-// runResponse answers POST /run. On 429, Error is set and Cells lists the
-// cells accepted before saturation.
+// runResponse answers POST /run. Sweep is the ID minted for this
+// submission: GET /watch/<sweep> streams the matrix's live progress, and
+// every log line and trace span of these cells carries it. On 429, Error is
+// set and Cells lists the cells accepted before saturation.
 type runResponse struct {
+	Sweep uint64       `json:"sweep"`
 	Cells []cellStatus `json:"cells"`
 	Error string       `json:"error,omitempty"`
 }
@@ -401,6 +509,31 @@ type Metrics struct {
 	DegradedTransitions uint64 `json:"degraded_transitions"`
 	RemoteCompleted     uint64 `json:"remote_completed"`
 	RemoteFailed        uint64 `json:"remote_failed"`
+
+	// Observability and placement inputs (ROADMAP item 1): the cache hit
+	// rate and per-node load feed cache-aware placement; the lease-wait
+	// distribution is the starved-for-workers signal; PoisonedCells is the
+	// fault ledger's quarantine list (capped).
+	CacheHitRate  float64         `json:"cache_hit_rate"`
+	LeaseWaitMs   stats.Histogram `json:"lease_wait_ms"`
+	Sweeps        uint64          `json:"sweeps"`
+	Watchers      int             `json:"watchers"`
+	TraceEvents   int             `json:"trace_events"`
+	TraceDropped  uint64          `json:"trace_dropped"`
+	LogEmitted    uint64          `json:"log_emitted"`
+	LogSinkFails  uint64          `json:"log_sink_fails"`
+	Nodes         []NodeMetrics   `json:"nodes,omitempty"`
+	PoisonedCells []string        `json:"poisoned_cells,omitempty"`
+}
+
+// NodeMetrics is one fabric worker's row in the placement ledger.
+type NodeMetrics struct {
+	ID        string `json:"id"`
+	Healthy   bool   `json:"healthy"`
+	Inflight  int    `json:"inflight"` // leases held right now
+	Leased    uint64 `json:"leased"`   // leases ever granted
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
 }
 
 // Handler returns the service's HTTP routes (client API + fabric API).
@@ -408,6 +541,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/result/", s.handleResult)
+	mux.HandleFunc("/watch/", s.handleWatch)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics/prom", s.handlePromMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -491,7 +626,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		protos = append(protos, p)
 	}
 
-	resp := runResponse{Cells: make([]cellStatus, 0, len(specs)*len(protos))}
+	sweep := s.sweepSeq.Add(1)
+	resp := runResponse{Sweep: sweep, Cells: make([]cellStatus, 0, len(specs)*len(protos))}
+	if s.log.On(obslog.Info) {
+		s.log.Info("coordinator", "sweep_accepted", obslog.Event{
+			Sweep: sweepStr(sweep), N: uint64(len(specs) * len(protos)),
+		})
+	}
+	var cellIdx uint64
 	for _, spec := range specs {
 		for _, p := range protos {
 			cfg := topology.Default(p)
@@ -501,7 +643,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			cs := cellStatus{Workload: spec.Name, Protocol: p.String(), Key: string(key)}
-			code, err := s.enqueue(job{key: key, spec: spec, cfg: cfg, classify: req.Classify})
+			code, err := s.enqueue(job{
+				key: key, spec: spec, cfg: cfg, classify: req.Classify,
+				sweep: sweep, cell: cellIdx,
+			})
+			cellIdx++
 			if err != nil {
 				resp.Error = err.Error()
 				writeJSON(w, code, resp)
@@ -528,6 +674,16 @@ func code2status(code int) string {
 // error with 503 (draining) or 429 (queue saturated). Submission is
 // idempotent on the content key: a queued or running cell is attached to,
 // never enqueued twice.
+// watchCellOf builds the /watch registration record for a job.
+func watchCellOf(j job, status string) watchCell {
+	return watchCell{
+		Workload: j.spec.Name,
+		Protocol: j.cfg.Protocol.String(),
+		Key:      string(j.key),
+		Status:   status,
+	}
+}
+
 func (s *Server) enqueue(j job) (int, error) {
 	s.mu.Lock()
 	if s.draining {
@@ -541,10 +697,12 @@ func (s *Server) enqueue(j job) (int, error) {
 		// re-enqueued — resubmission is the recovery path for post-
 		// completion cache damage.
 		if st.status != "done" {
+			s.hub.addCell(j.sweep, watchCellOf(j, st.status))
 			s.mu.Unlock()
 			return http.StatusAccepted, nil
 		}
 		if s.cache.Contains(j.key) {
+			s.hub.addCell(j.sweep, watchCellOf(j, "cached"))
 			s.mu.Unlock()
 			return http.StatusOK, nil
 		}
@@ -552,12 +710,29 @@ func (s *Server) enqueue(j job) (int, error) {
 	}
 	if s.cache.Contains(j.key) {
 		s.jobs[j.key] = &jobState{status: "done"}
+		s.hub.addCell(j.sweep, watchCellOf(j, "cached"))
 		s.mu.Unlock()
+		if s.log.On(obslog.Info) {
+			s.log.Info("coordinator", "cell_cache_hit", obslog.Event{
+				Sweep: sweepStr(j.sweep), Cell: cellStr(j.sweep, j.cell), Key: string(j.key),
+			})
+		}
 		return http.StatusOK, nil
 	}
+	// Register for /watch before the queue can race a transition past us:
+	// the hub write and the job-table write share s.mu, so the first
+	// transition a watcher sees is always later than "queued".
+	s.hub.addCell(j.sweep, watchCellOf(j, "queued"))
 	if !s.lq.enqueue(j, s.depth) {
+		s.hub.updateIn(j.sweep, string(j.key), "rejected", "queue saturated")
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		if s.log.On(obslog.Warn) {
+			s.log.Warn("coordinator", "cell_rejected", obslog.Event{
+				Sweep: sweepStr(j.sweep), Cell: cellStr(j.sweep, j.cell),
+				Key: string(j.key), Detail: "queue saturated",
+			})
+		}
 		return http.StatusTooManyRequests,
 			fmt.Errorf("queue saturated (%d cells deep): retry later", s.depth)
 	}
@@ -617,6 +792,25 @@ func (s *Server) snapshotMetrics() Metrics {
 	s.mu.Unlock()
 	registered, healthy := s.workerCounts()
 	ls := s.lq.stats()
+	cutoff := s.now() - s.workerTTL
+	s.remotesMu.Lock()
+	nodes := make([]NodeMetrics, 0, len(s.remotes))
+	for _, rw := range s.remotes {
+		nodes = append(nodes, NodeMetrics{
+			ID:        rw.id,
+			Healthy:   rw.lastSeen >= cutoff,
+			Inflight:  ls.LeasedByOwner[rw.id],
+			Leased:    rw.leased,
+			Completed: rw.completed,
+			Failed:    rw.failed,
+		})
+	}
+	s.remotesMu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	s.poisonMu.Lock()
+	poisoned := make([]string, len(s.poisonedKeys))
+	copy(poisoned, s.poisonedKeys)
+	s.poisonMu.Unlock()
 	return Metrics{
 		Role:          s.role,
 		Ready:         s.ready.Load(),
@@ -644,6 +838,17 @@ func (s *Server) snapshotMetrics() Metrics {
 		DegradedTransitions: s.degradedTransitions.Load(),
 		RemoteCompleted:     s.remoteCompleted.Load(),
 		RemoteFailed:        s.remoteFailed.Load(),
+
+		CacheHitRate:  s.cache.Stats().HitRate(),
+		LeaseWaitMs:   ls.LeaseWait,
+		Sweeps:        s.sweepSeq.Load(),
+		Watchers:      s.hub.watchers(),
+		TraceEvents:   s.ftrace.b.Events(),
+		TraceDropped:  s.ftrace.b.Dropped(),
+		LogEmitted:    s.log.Emitted(),
+		LogSinkFails:  s.log.SinkFailures(),
+		Nodes:         nodes,
+		PoisonedCells: poisoned,
 	}
 }
 
@@ -653,6 +858,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+// handleTrace serves the wall-clock cell-lifecycle trace as Chrome
+// trace-event JSON (load in Perfetto). Valid at any moment: spans still
+// open are closed in the output only, so a live sweep renders cleanly.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.ftrace.b.WriteTrace(w)
 }
 
 // handlePromMetrics serves the same service metrics in Prometheus text
@@ -672,8 +889,8 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		func() float64 { return float64(m.Workers) })
 	reg.Gauge("dveserve_queue_depth", "queue capacity",
 		func() float64 { return float64(m.QueueDepth) })
-	reg.Gauge("dveserve_queue_len", "cells waiting for a lease",
-		func() float64 { return float64(m.QueueLen) })
+	reg.Gauge("dveserve_queue_len", "cells waiting for a lease (transition-time gauge)",
+		func() float64 { return float64(s.lq.depth()) })
 	reg.Gauge("dveserve_leased", "cells out under a live lease",
 		func() float64 { return float64(m.Leased) })
 	reg.Gauge("dveserve_running", "cells executing right now",
@@ -720,8 +937,44 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		func() float64 { return float64(m.Cache.Swept) })
 	reg.Counter("dveserve_cache_puts_total", "cache writes",
 		func() float64 { return float64(m.Cache.Puts) })
+	reg.Gauge("dveserve_cache_hit_rate", "result-cache hits per lookup (placement input)",
+		func() float64 { return m.CacheHitRate })
+	reg.Histogram("dveserve_lease_wait_ms", "enqueue-to-grant latency distribution",
+		func() *stats.Histogram { return &m.LeaseWaitMs })
+	reg.Counter("dveserve_sweeps_total", "sweep IDs minted by /run",
+		func() float64 { return float64(m.Sweeps) })
+	reg.Gauge("dveserve_watchers", "attached /watch subscribers",
+		func() float64 { return float64(m.Watchers) })
+	reg.Gauge("dveserve_trace_events", "buffered fabric trace records",
+		func() float64 { return float64(m.TraceEvents) })
+	reg.Counter("dveserve_trace_events_dropped_total", "fabric trace records dropped at the cap",
+		func() float64 { return float64(m.TraceDropped) })
+	reg.Counter("dveserve_log_events_total", "structured log events emitted",
+		func() float64 { return float64(m.LogEmitted) })
+	reg.Counter("dveserve_log_sink_failures_total", "structured log events a sink refused",
+		func() float64 { return float64(m.LogSinkFails) })
+	reg.LabeledGauge("dveserve_node_inflight", "leases held right now, by fabric node", "node",
+		func() []telemetry.LabeledValue { return nodeSamples(m.Nodes, func(n NodeMetrics) float64 { return float64(n.Inflight) }) })
+	reg.LabeledGauge("dveserve_node_leased", "leases ever granted, by fabric node", "node",
+		func() []telemetry.LabeledValue { return nodeSamples(m.Nodes, func(n NodeMetrics) float64 { return float64(n.Leased) }) })
+	reg.LabeledGauge("dveserve_node_completed", "cells completed, by fabric node", "node",
+		func() []telemetry.LabeledValue { return nodeSamples(m.Nodes, func(n NodeMetrics) float64 { return float64(n.Completed) }) })
+	reg.LabeledGauge("dveserve_node_failed", "cell failures, by fabric node", "node",
+		func() []telemetry.LabeledValue { return nodeSamples(m.Nodes, func(n NodeMetrics) float64 { return float64(n.Failed) }) })
+	reg.LabeledGauge("dveserve_node_healthy", "1 while the node is inside its liveness window", "node",
+		func() []telemetry.LabeledValue { return nodeSamples(m.Nodes, func(n NodeMetrics) float64 { return b2f(n.Healthy) }) })
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	reg.WritePrometheus(w)
+}
+
+// nodeSamples projects one NodeMetrics column into labeled gauge samples
+// (already ID-sorted by snapshotMetrics, so scrapes are deterministic).
+func nodeSamples(nodes []NodeMetrics, f func(NodeMetrics) float64) []telemetry.LabeledValue {
+	out := make([]telemetry.LabeledValue, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, telemetry.LabeledValue{Label: n.ID, Value: f(n)})
+	}
+	return out
 }
 
 func b2f(b bool) float64 {

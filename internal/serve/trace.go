@@ -1,0 +1,127 @@
+package serve
+
+// The fabric trace is the wall-clock counterpart of the simulator's Chrome
+// trace: one span per cell execution, on the track of the worker that ran
+// it, between instants on the queue track for enqueue/requeue/poison and a
+// queue-depth counter series. It is fed entirely by lease-queue lifecycle
+// events (queueEvent), so the trace can never disagree with the queue about
+// what happened — both are views of the same transition stream. GET /trace
+// serves the current document at any time; spans still open (cells mid-run)
+// are closed in the output only, so a live sweep renders cleanly without
+// disturbing the builder.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dve/internal/telemetry"
+)
+
+// fabricPid is the one process row of the fabric trace; the queue owns tid
+// 0 and each lease owner (local worker or fabric node) gets its own tid.
+const fabricPid = 0
+
+type fabricTrace struct {
+	b *telemetry.TraceBuilder
+
+	mu      sync.Mutex
+	tids    map[string]int // owner -> tid
+	nextTid int
+}
+
+func newFabricTrace(maxEvents int) *fabricTrace {
+	t := &fabricTrace{
+		b:       telemetry.NewTraceBuilder(telemetry.DomainWall, maxEvents),
+		tids:    make(map[string]int),
+		nextTid: 1,
+	}
+	t.b.ProcessName(fabricPid, "dveserve fabric")
+	t.b.ThreadName(fabricPid, 0, "queue")
+	return t
+}
+
+// tid returns (allocating on first sight) the track for a lease owner.
+func (t *fabricTrace) tid(owner string) int {
+	t.mu.Lock()
+	id, ok := t.tids[owner]
+	if !ok {
+		id = t.nextTid
+		t.nextTid++
+		t.tids[owner] = id
+		t.b.ThreadName(fabricPid, id, "worker "+owner)
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// shortKey abbreviates a 64-hex-char content key for span labels.
+func shortKey(k string) string {
+	if len(k) > 8 {
+		return k[:8]
+	}
+	return k
+}
+
+// spanName is the label shared by a cell's Begin and its eventual End.
+func spanName(j job) string {
+	return fmt.Sprintf("cell %s/%s %s", j.spec.Name, j.cfg.Protocol, shortKey(string(j.key)))
+}
+
+// cellArgs annotates a trace record with the cell's identity and its sweep
+// lineage (sweep and cell span IDs minted at /run).
+func cellArgs(ev queueEvent) map[string]any {
+	a := map[string]any{
+		"key":      string(ev.j.key),
+		"workload": ev.j.spec.Name,
+		"protocol": ev.j.cfg.Protocol.String(),
+	}
+	if ev.j.sweep != 0 {
+		a["sweep"] = ev.j.sweep
+		a["cell"] = ev.j.cell
+	}
+	if ev.leaseID != 0 {
+		a["lease"] = ev.leaseID
+	}
+	if ev.attempts != 0 {
+		a["attempt"] = ev.attempts
+	}
+	if ev.reason != "" {
+		a["reason"] = ev.reason
+	}
+	return a
+}
+
+// observe turns one queue transition into trace records. ts is host
+// microseconds on the server's monotonic clock (the builder clamps
+// per-track regressions, so cross-goroutine emission jitter is safe).
+func (t *fabricTrace) observe(ev queueEvent) {
+	ts := uint64(ev.at.Microseconds())
+	switch ev.kind {
+	case evEnqueued, evRequeued, evPoisoned:
+		t.b.Instant(fabricPid, 0, ev.kind+" "+shortKey(string(ev.j.key)), ts, cellArgs(ev))
+	case evGranted:
+		args := cellArgs(ev)
+		args["wait_ms"] = ev.waited.Milliseconds()
+		t.b.Begin(fabricPid, t.tid(ev.owner), spanName(ev.j), ts, args)
+	case evCompleted:
+		t.b.End(fabricPid, t.tid(ev.owner), ts, nil)
+	case evFailed, evExpired:
+		// The owner's span ends here; the cell's next life (requeue) shows
+		// up as a fresh span wherever it lands.
+		t.b.End(fabricPid, t.tid(ev.owner), ts, map[string]any{"outcome": ev.kind, "reason": ev.reason})
+	case evCancelled:
+		if ev.owner != "" {
+			t.b.End(fabricPid, t.tid(ev.owner), ts, map[string]any{"outcome": "cancelled"})
+		} else {
+			t.b.Instant(fabricPid, 0, "cancelled "+shortKey(string(ev.j.key)), ts, cellArgs(ev))
+		}
+	}
+	t.b.Counter(fabricPid, 0, "queue_depth", ts, "pending", uint64(ev.depth))
+}
+
+// instant records a server-level marker (drain, degraded flips) on the
+// queue track at the given monotonic time.
+func (t *fabricTrace) instant(name string, at time.Duration, args map[string]any) {
+	t.b.Instant(fabricPid, 0, name, uint64(at.Microseconds()), args)
+}

@@ -20,6 +20,7 @@ import (
 
 	"dve/internal/dve"
 	"dve/internal/experiments"
+	"dve/internal/obslog"
 	"dve/internal/results"
 	"dve/internal/topology"
 	"dve/internal/workload"
@@ -66,6 +67,10 @@ type WorkerConfig struct {
 	// Sleep replaces the backoff/poll sleep in tests; nil sleeps on a
 	// timer honoring context cancellation.
 	Sleep func(d time.Duration)
+	// Log receives structured lifecycle events (nil-safe). Events carry the
+	// sweep/cell span IDs from the coordinator's grant, so a worker's log
+	// joins the coordinator's trace on the same correlation keys.
+	Log *obslog.Logger
 }
 
 // Worker executes one cell at a time against a coordinator. Run N workers
@@ -298,9 +303,29 @@ func (w *Worker) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// logGrant emits one worker-side lifecycle event carrying the grant's
+// correlation IDs.
+func (w *Worker) logGrant(lv obslog.Level, event string, grant leaseGrant, detail string) {
+	if !w.cfg.Log.On(lv) {
+		return
+	}
+	ev := obslog.Event{
+		Lease:  grant.Lease,
+		Worker: w.cfg.ID,
+		Key:    grant.Key,
+		Detail: detail,
+	}
+	if grant.Sweep != 0 {
+		ev.Sweep = fmt.Sprintf("%d", grant.Sweep)
+		ev.Cell = fmt.Sprintf("%d/c%d", grant.Sweep, grant.Cell)
+	}
+	w.cfg.Log.Emit(lv, "worker", event, ev)
+}
+
 // execute runs one granted cell: key cross-check, heartbeats while the
 // simulation runs, then complete (or fail) with the payload.
 func (w *Worker) execute(ctx context.Context, grant leaseGrant) {
+	w.logGrant(obslog.Info, "cell_start", grant, "")
 	// Recompute the content key locally: a worker whose binary disagrees
 	// with the coordinator about what these inputs mean must refuse the
 	// cell rather than cache a result under the wrong address. The engine
@@ -332,6 +357,7 @@ func (w *Worker) execute(ctx context.Context, grant leaseGrant) {
 	}
 	if err != nil {
 		w.bump(func(s *WorkerStats) { s.Failed++ })
+		w.logGrant(obslog.Error, "cell_refused", grant, err.Error())
 		w.rpc(ctx, pathFail, failRequest{Worker: w.cfg.ID, Lease: grant.Lease, Error: err.Error()}, nil)
 		return
 	}
@@ -375,9 +401,12 @@ func (w *Worker) execute(ctx context.Context, grant leaseGrant) {
 	}
 	if abandoned {
 		w.bump(func(s *WorkerStats) { s.Abandoned++ })
+		w.logGrant(obslog.Warn, "lease_abandoned", grant,
+			"lease re-owned mid-run; reporting the late result anyway")
 	}
 	if execErr != nil {
 		w.bump(func(s *WorkerStats) { s.Failed++ })
+		w.logGrant(obslog.Error, "cell_failed", grant, execErr.Error())
 		w.rpc(ctx, pathFail,
 			failRequest{Worker: w.cfg.ID, Lease: grant.Lease, Error: execErr.Error()}, nil)
 		return
@@ -403,9 +432,12 @@ func (w *Worker) execute(ctx context.Context, grant leaseGrant) {
 		// attempt as failed so the cell is re-leased promptly; if even that
 		// is lost, lease expiry re-enqueues it anyway.
 		w.bump(func(s *WorkerStats) { s.Failed++ })
+		w.logGrant(obslog.Error, "complete_lost", grant,
+			fmt.Sprintf("complete did not land (status %d, err %v)", code, err))
 		w.rpc(ctx, pathFail, failRequest{Worker: w.cfg.ID, Lease: grant.Lease,
 			Error: fmt.Sprintf("complete did not land (status %d, err %v)", code, err)}, nil)
 		return
 	}
 	w.bump(func(s *WorkerStats) { s.Completed++ })
+	w.logGrant(obslog.Info, "cell_done", grant, "")
 }

@@ -82,6 +82,16 @@ type Counters struct {
 	// load-imbalance signal). Zero on the legacy single-queue engine.
 	EngineEpochs        uint64
 	EngineBarrierStalls uint64
+
+	// Instrumentation health. Both are observations *about* the telemetry
+	// layer, stamped into the result after the run completes: TraceDropped
+	// counts span events discarded by lane exhaustion (a nonzero value
+	// means the trace is a sample, never silently); FlightDumps counts
+	// flight-recorder linearisations — each one marks an invariant
+	// violation or socket-kill report. Zero in every healthy run, so
+	// traced-vs-untraced byte-identity is preserved.
+	TraceDropped uint64
+	FlightDumps  uint64
 }
 
 // Merge accumulates o into c. Every scalar event counter adds; the miss
@@ -146,6 +156,8 @@ func (c *Counters) Merge(o *Counters) {
 	c.EpochsDeny += o.EpochsDeny
 	c.EngineEpochs += o.EngineEpochs
 	c.EngineBarrierStalls += o.EngineBarrierStalls
+	c.TraceDropped += o.TraceDropped
+	c.FlightDumps += o.FlightDumps
 }
 
 // MPKI returns LLC misses per thousand operations, the paper's workload

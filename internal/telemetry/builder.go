@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+)
+
+// TraceBuilder assembles a Chrome trace-event document from explicit
+// timestamps — the wall-clock counterpart of the Tracer, which derives time
+// from sim.Engine. The sweep fabric uses one to record cell lifecycles
+// (enqueue → lease → run → complete) across coordinator and workers, with
+// host microseconds on the timeline and the clock domain declared in the
+// same metadata record WriteTrace emits.
+//
+// Unlike the Tracer it is safe for concurrent use: fabric events arrive
+// from HTTP handlers and worker goroutines, so every method locks. It
+// enforces the ValidateTrace contract at build time — per-track timestamps
+// are clamped monotone (wall clocks jitter; the trace must not), E events
+// close the innermost open B by name, and WriteTrace synthesises closing E
+// records for still-open spans into the output only, so a live server can
+// serve /trace mid-sweep and keep building.
+type TraceBuilder struct {
+	mu     sync.Mutex
+	domain string
+
+	meta   []wireEvent // process/thread name records, registration order
+	events []wireEvent
+
+	tracks map[uint64]*builderTrack
+	max    int
+	drops  uint64
+}
+
+// builderTrack is per-(pid,tid) build state.
+type builderTrack struct {
+	lastTs uint64
+	sawTs  bool
+	open   []string // stack of open B names
+}
+
+// NewTraceBuilder returns a builder for the given clock domain (DomainWall
+// for fabric traces). maxEvents bounds the buffered event count so a
+// long-lived server cannot grow without bound; 0 means 65536. Events past
+// the cap are dropped and counted (E events are always admitted so spans
+// stay matched).
+func NewTraceBuilder(domain string, maxEvents int) *TraceBuilder {
+	if maxEvents <= 0 {
+		maxEvents = 65536
+	}
+	return &TraceBuilder{
+		domain: domain,
+		tracks: make(map[uint64]*builderTrack),
+		max:    maxEvents,
+	}
+}
+
+// ProcessName names a pid's row in the trace UI.
+func (b *TraceBuilder) ProcessName(pid int, name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.meta = append(b.meta, wireEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName names a (pid, tid) track.
+func (b *TraceBuilder) ThreadName(pid, tid int, name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.meta = append(b.meta, wireEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// track returns (creating if needed) the state for (pid, tid), and clamps
+// ts monotone against it. Callers hold b.mu.
+func (b *TraceBuilder) track(pid, tid int, ts uint64) (*builderTrack, uint64) {
+	k := trackKey(pid, tid)
+	tc := b.tracks[k]
+	if tc == nil {
+		tc = &builderTrack{}
+		b.tracks[k] = tc
+	}
+	if tc.sawTs && ts < tc.lastTs {
+		ts = tc.lastTs
+	}
+	tc.lastTs, tc.sawTs = ts, true
+	return tc, ts
+}
+
+// Begin opens a span on (pid, tid) at ts microseconds. args may be nil; the
+// builder takes ownership of the map.
+func (b *TraceBuilder) Begin(pid, tid int, name string, ts uint64, args map[string]any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.events) >= b.max {
+		b.drops++
+		return
+	}
+	tc, ts := b.track(pid, tid, ts)
+	tc.open = append(tc.open, name)
+	b.events = append(b.events, wireEvent{
+		Name: name, Ph: "B", Ts: ts, Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// End closes the innermost open span on (pid, tid) at ts. Ending a track
+// with no open span is counted as a drop (the matching B was itself dropped
+// or never emitted), never an invalid record.
+func (b *TraceBuilder) End(pid, tid int, ts uint64, args map[string]any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := trackKey(pid, tid)
+	tc := b.tracks[k]
+	if tc == nil || len(tc.open) == 0 {
+		b.drops++
+		return
+	}
+	_, ts = b.track(pid, tid, ts)
+	name := tc.open[len(tc.open)-1]
+	tc.open = tc.open[:len(tc.open)-1]
+	// E events are admitted past the cap: a capped trace must still have
+	// every admitted B matched.
+	b.events = append(b.events, wireEvent{
+		Name: name, Ph: "E", Ts: ts, Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Instant records a point event on (pid, tid) at ts.
+func (b *TraceBuilder) Instant(pid, tid int, name string, ts uint64, args map[string]any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.events) >= b.max {
+		b.drops++
+		return
+	}
+	_, ts = b.track(pid, tid, ts)
+	b.events = append(b.events, wireEvent{
+		Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Counter records a counter sample (Perfetto renders a stepped area chart).
+func (b *TraceBuilder) Counter(pid, tid int, name string, ts uint64, key string, val uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.events) >= b.max {
+		b.drops++
+		return
+	}
+	_, ts = b.track(pid, tid, ts)
+	b.events = append(b.events, wireEvent{
+		Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: tid,
+		Args: map[string]any{key: val},
+	})
+}
+
+// Events returns how many trace records are buffered.
+func (b *TraceBuilder) Events() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Dropped returns how many records were discarded at the event cap or as
+// unmatched E events — a nonzero value means the trace is a sample.
+func (b *TraceBuilder) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drops
+}
+
+// WriteTrace serialises the current state as Chrome trace-event JSON: the
+// clock_domain record, then metadata in registration order, then events in
+// emission order, then synthesised E records (at each track's last
+// timestamp) for spans still open — in the output only, so the builder
+// keeps running and a later WriteTrace sees the spans still open.
+func (b *TraceBuilder) WriteTrace(w io.Writer) error {
+	b.mu.Lock()
+	out := traceFile{DisplayTimeUnit: "ms"}
+	out.TraceEvents = make([]wireEvent, 0, 1+len(b.meta)+len(b.events))
+	out.TraceEvents = append(out.TraceEvents, domainMeta(b.domain))
+	out.TraceEvents = append(out.TraceEvents, b.meta...)
+	out.TraceEvents = append(out.TraceEvents, b.events...)
+	// Deterministic closing order: walk events backwards and close each
+	// track's open spans at first (reverse) encounter — no map iteration.
+	closedPer := make(map[uint64]int, len(b.tracks))
+	for i := len(b.events) - 1; i >= 0; i-- {
+		ev := &b.events[i]
+		k := trackKey(ev.Pid, ev.Tid)
+		tc := b.tracks[k]
+		if tc == nil {
+			continue
+		}
+		if closedPer[k] < len(tc.open) {
+			closedPer[k]++
+			name := tc.open[len(tc.open)-closedPer[k]]
+			out.TraceEvents = append(out.TraceEvents, wireEvent{
+				Name: name, Ph: "E", Ts: tc.lastTs, Pid: ev.Pid, Tid: ev.Tid,
+			})
+		}
+	}
+	b.mu.Unlock()
+	return writeTraceFile(w, &out)
+}

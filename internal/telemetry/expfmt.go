@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text exposition (format 0.0.4)
+// document — the contract /metrics/prom promises scrapers. CI pipes a live
+// scrape of the chaos fabric through it so a malformed metric line (bad
+// name, broken label quoting, unparsable value, interleaved families,
+// duplicate TYPE) fails the build instead of silently breaking dashboards.
+//
+// Checked per line:
+//   - "# HELP <name> <text>" and "# TYPE <name> <type>" comment syntax,
+//     with TYPE one of counter|gauge|histogram|summary|untyped;
+//   - sample lines "<name>[{label="value",...}] <value> [<timestamp>]"
+//     with a valid metric name, properly quoted/escaped label values, and
+//     a float-parsable value (+Inf/-Inf/NaN allowed);
+//   - TYPE/HELP declared at most once per family, before its samples;
+//   - a family's lines are contiguous (no interleaving — Prometheus
+//     ingestion requires grouped families).
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	seenFamily := make(map[string]bool) // family -> closed (another family started since)
+	typed := make(map[string]bool)
+	helped := make(map[string]bool)
+	current := ""
+	lineNo := 0
+
+	enter := func(family string) error {
+		if family == current {
+			return nil
+		}
+		if seenFamily[family] {
+			return fmt.Errorf("family %q interleaved with other families", family)
+		}
+		if current != "" {
+			seenFamily[current] = true
+		}
+		current = family
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseExpComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "" {
+				continue // plain comment
+			}
+			if err := enter(name); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if helped[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if typed[name] {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q for %q", lineNo, rest, name)
+				}
+				typed[name] = true
+			}
+			continue
+		}
+		name, err := parseExpSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if err := enter(expFamily(name)); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("empty exposition document")
+	}
+	return nil
+}
+
+// expFamily strips histogram/summary series suffixes so _bucket/_sum/_count
+// samples group under their declared family.
+func expFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+// parseExpComment parses a "#" line. kind is "HELP", "TYPE" or "" for a
+// plain comment.
+func parseExpComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	if !strings.HasPrefix(body, " ") {
+		return "", "", "", nil // "#foo" is a plain comment
+	}
+	fields := strings.SplitN(strings.TrimPrefix(body, " "), " ", 3)
+	if fields[0] != "HELP" && fields[0] != "TYPE" {
+		return "", "", "", nil
+	}
+	if len(fields) < 2 || fields[1] == "" {
+		return "", "", "", fmt.Errorf("%s comment missing metric name", fields[0])
+	}
+	if !validName(fields[1]) {
+		return "", "", "", fmt.Errorf("%s comment has invalid metric name %q", fields[0], fields[1])
+	}
+	if len(fields) == 3 {
+		rest = fields[2]
+	}
+	if fields[0] == "TYPE" && rest == "" {
+		return "", "", "", fmt.Errorf("TYPE comment for %q missing type", fields[1])
+	}
+	return fields[0], fields[1], rest, nil
+}
+
+// parseExpSample parses one sample line and returns the metric name.
+func parseExpSample(line string) (string, error) {
+	i := 0
+	for i < len(line) && (line[i] == '_' ||
+		line[i] >= 'a' && line[i] <= 'z' || line[i] >= 'A' && line[i] <= 'Z' ||
+		(i > 0 && line[i] >= '0' && line[i] <= '9') || line[i] == ':') {
+		i++
+	}
+	name := line[:i]
+	if !validExpName(name) {
+		return "", fmt.Errorf("invalid metric name at %q", line)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", fmt.Errorf("metric %q: %v", name, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", fmt.Errorf("metric %q: want value [timestamp], got %q", name, rest)
+	}
+	if !validExpValue(fields[0]) {
+		return "", fmt.Errorf("metric %q: unparsable value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("metric %q: unparsable timestamp %q", name, fields[1])
+		}
+	}
+	return name, nil
+}
+
+// validExpName is validName plus the colon namespace separator the
+// exposition format allows (recording rules).
+func validExpName(name string) bool {
+	if name == "" {
+		return false
+	}
+	stripped := strings.ReplaceAll(name, ":", "_")
+	return validName(stripped)
+}
+
+func validExpValue(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN", "nan":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// scanLabels consumes a {k="v",...} block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		// Allow a trailing comma before '}' and an empty label set.
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && (s[i] == '_' ||
+			s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z' ||
+			(i > start && s[i] >= '0' && s[i] <= '9')) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("bad label name in %q", s)
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label missing '=' in %q", s)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in %q", s[i+1], s)
+				}
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // past closing quote
+	}
+}

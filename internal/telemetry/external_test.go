@@ -13,6 +13,16 @@ import (
 var validateTrace = flag.String("validate-trace", "",
 	"path to a Chrome trace-event JSON file to parse and validate")
 
+// validateDomain optionally pins the clock domain the trace must declare:
+// "sim" for simulator traces, "wall" for fabric lifecycle traces.
+var validateDomain = flag.String("validate-domain", "",
+	"clock domain the -validate-trace file must declare (sim or wall)")
+
+// validateProm points at a captured /metrics/prom scrape; CI feeds the
+// chaos fabric's exposition through the format validator.
+var validateProm = flag.String("validate-prom", "",
+	"path to a Prometheus text exposition file to validate")
+
 func TestValidateExternalTrace(t *testing.T) {
 	if *validateTrace == "" {
 		t.Skip("no -validate-trace file given")
@@ -32,5 +42,26 @@ func TestValidateExternalTrace(t *testing.T) {
 	if err := ValidateTrace(evs); err != nil {
 		t.Fatalf("validate %s: %v", *validateTrace, err)
 	}
-	t.Logf("%s: %d events, all tracks monotone, all spans matched", *validateTrace, len(evs))
+	if *validateDomain != "" {
+		if err := ValidateTraceDomain(evs, *validateDomain); err != nil {
+			t.Fatalf("validate %s: %v", *validateTrace, err)
+		}
+	}
+	t.Logf("%s: %d events, domain %q, all tracks monotone, all spans matched",
+		*validateTrace, len(evs), TraceDomain(evs))
+}
+
+func TestValidatePromExposition(t *testing.T) {
+	if *validateProm == "" {
+		t.Skip("no -validate-prom file given")
+	}
+	f, err := os.Open(*validateProm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ValidateExposition(f); err != nil {
+		t.Fatalf("validate %s: %v", *validateProm, err)
+	}
+	t.Logf("%s: valid Prometheus text exposition", *validateProm)
 }

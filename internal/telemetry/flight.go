@@ -33,7 +33,13 @@ type FlightRecorder struct {
 	pos   []int         // next write index per socket
 	size  int
 	seq   uint64
+	dumps uint64
 }
+
+// Dumps returns how many times the ring was linearised — each dump marks an
+// invariant violation or socket kill that triggered a failure report, so
+// the count is surfaced in the metrics registry (dve_flight_dumps_total).
+func (r *FlightRecorder) Dumps() uint64 { return r.dumps }
 
 // NewFlightRecorder builds a recorder with `lines` entries per socket.
 func NewFlightRecorder(sockets, lines int) *FlightRecorder {
@@ -86,6 +92,7 @@ func (r *FlightRecorder) Note(cycle uint64, socket int, c Component, kind string
 // the exact emission order, reconstructed — ready for JSON serialisation in
 // a failure report. The recorder keeps recording afterwards.
 func (r *FlightRecorder) Dump() []FlightEvent {
+	r.dumps++
 	var out []FlightEvent
 	for socket := range r.rings {
 		for i := range r.rings[socket] {

@@ -20,17 +20,29 @@ const (
 	counterKind metricKind = iota
 	gaugeKind
 	histogramKind
+	labeledGaugeKind
 )
 
 // kindNames is indexed by metricKind (array lookup keeps statecover quiet).
-var kindNames = [3]string{"counter", "gauge", "histogram"}
+// A labeled gauge is still TYPE gauge on the wire — the label rides on each
+// sample line, not on the type.
+var kindNames = [4]string{"counter", "gauge", "histogram", "gauge"}
+
+// LabeledValue is one sample of a labeled gauge: the per-node breakdown of
+// a fleet metric (queue depth by worker, inflight by node).
+type LabeledValue struct {
+	Label string
+	Value float64
+}
 
 type metric struct {
-	name string
-	help string
-	kind metricKind
-	val  func() float64          // counterKind, gaugeKind
-	hist func() *stats.Histogram // histogramKind
+	name    string
+	help    string
+	kind    metricKind
+	val     func() float64          // counterKind, gaugeKind
+	hist    func() *stats.Histogram // histogramKind
+	label   string                  // labeledGaugeKind: the label name
+	labeled func() []LabeledValue   // labeledGaugeKind
 }
 
 // Registry holds named metrics in registration order (which is therefore
@@ -91,6 +103,36 @@ func (r *Registry) Histogram(name, help string, fn func() *stats.Histogram) {
 	r.add(metric{name: name, help: help, kind: histogramKind, hist: fn})
 }
 
+// LabeledGauge registers a gauge broken down by one label (per-node queue
+// depth, per-worker inflight). fn returns the current sample set; its order
+// is the exposition order, so callers return sorted slices for
+// deterministic scrapes.
+func (r *Registry) LabeledGauge(name, help, label string, fn func() []LabeledValue) {
+	if !validName(label) {
+		panic("telemetry: invalid label name " + label)
+	}
+	r.add(metric{name: name, help: help, kind: labeledGaugeKind, label: label, labeled: fn})
+}
+
+// escapeLabelValue applies Prometheus label-value escaping (backslash,
+// double quote, newline).
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (version 0.0.4). Histograms expose cumulative power-of-two
 // buckets derived from stats.Histogram.Buckets().
@@ -104,6 +146,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kindNames[m.kind]); err != nil {
 			return err
+		}
+		if m.kind == labeledGaugeKind {
+			for _, lv := range m.labeled() {
+				if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n",
+					m.name, m.label, escapeLabelValue(lv.Label), lv.Value); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		if m.kind != histogramKind {
 			if _, err := fmt.Fprintf(w, "%s %g\n", m.name, m.val()); err != nil {
@@ -155,6 +206,15 @@ func (r *Registry) Snapshot() Snapshot {
 	out := make(Snapshot, 0, len(r.metrics))
 	for i := range r.metrics {
 		m := &r.metrics[i]
+		if m.kind == labeledGaugeKind {
+			for _, lv := range m.labeled() {
+				out = append(out, Sample{
+					Name:  fmt.Sprintf("%s{%s=%q}", m.name, m.label, lv.Label),
+					Value: lv.Value,
+				})
+			}
+			continue
+		}
 		if m.kind != histogramKind {
 			out = append(out, Sample{Name: m.name, Value: m.val()})
 			continue
@@ -252,6 +312,8 @@ func CountersRegistry(c *stats.Counters) *Registry {
 	r.Counter("dve_epochs_deny_total", "epochs spent in deny mode", u(&c.EpochsDeny))
 	r.Counter("sim_epochs_total", "parallel-engine lookahead windows executed (0 on the legacy engine)", u(&c.EngineEpochs))
 	r.Counter("sim_barrier_stalls_total", "partition-epochs idle at the barrier (load-imbalance signal)", u(&c.EngineBarrierStalls))
+	r.Counter("dve_trace_dropped_total", "trace events discarded by span-lane exhaustion (nonzero means the trace is a sample)", u(&c.TraceDropped))
+	r.Counter("dve_flight_dumps_total", "flight-recorder dumps taken (each marks an invariant violation or socket-kill report)", u(&c.FlightDumps))
 	r.Histogram("dve_miss_latency_cycles", "LLC miss latency distribution",
 		func() *stats.Histogram { return &c.MissLatency })
 	return r

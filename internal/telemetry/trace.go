@@ -81,6 +81,57 @@ type traceFile struct {
 	DisplayTimeUnit string      `json:"displayTimeUnit,omitempty"`
 }
 
+// writeTraceFile serialises a trace document — the one encoder both the
+// Tracer and the TraceBuilder write through.
+func writeTraceFile(w io.Writer, f *traceFile) error {
+	return json.NewEncoder(w).Encode(f)
+}
+
+// Clock domains name the timeline a trace's timestamps live on. A sim
+// trace's microseconds are simulated cycles (1 cycle = 1 µs); a wall trace's
+// microseconds are host time. Traces declare their domain in a clock_domain
+// metadata record so tooling (and CI validation) can refuse to aggregate
+// across domains.
+const (
+	DomainSim  = "sim"  // timestamps are sim.Engine cycles
+	DomainWall = "wall" // timestamps are host microseconds
+)
+
+// domainMeta builds the clock_domain metadata record.
+func domainMeta(domain string) wireEvent {
+	return wireEvent{
+		Name: "clock_domain", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"domain": domain},
+	}
+}
+
+// TraceDomain returns the clock domain a parsed trace declares, or "" when
+// the trace predates domain stamping.
+func TraceDomain(events []ParsedEvent) string {
+	for i := range events {
+		ev := &events[i]
+		if ev.Ph == "M" && ev.Name == "clock_domain" {
+			if d, ok := ev.Args["domain"].(string); ok {
+				return d
+			}
+		}
+	}
+	return ""
+}
+
+// ValidateTraceDomain checks that the trace declares exactly the wanted
+// clock domain — the fabric trace must say "wall", a simulator trace "sim".
+func ValidateTraceDomain(events []ParsedEvent, want string) error {
+	got := TraceDomain(events)
+	if got == "" {
+		return fmt.Errorf("trace declares no clock_domain metadata (want %q)", want)
+	}
+	if got != want {
+		return fmt.Errorf("trace clock domain is %q, want %q", got, want)
+	}
+	return nil
+}
+
 // trackThreadName renders a tid back into a human-readable Perfetto thread
 // name ("homedir/lane3", "llc/instant").
 func trackThreadName(tid int) string {
@@ -104,6 +155,7 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
 
 	out := traceFile{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, domainMeta(DomainSim))
 	lastPid := -1
 	for _, k := range tracks {
 		pid := int(k >> 32)
@@ -137,8 +189,7 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		out.TraceEvents = append(out.TraceEvents, we)
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	return writeTraceFile(w, &out)
 }
 
 // WriteTraceFile writes the trace to path (the dvesim -trace-events sink).
